@@ -1,0 +1,38 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+experiment once inside ``benchmark.pedantic`` (timing the full regeneration),
+prints the paper-vs-measured report, and persists it under
+``benchmarks/results/`` as both text and JSON.
+
+Scale with ``REPRO_SCALE=smoke|default|full`` (default: ``default``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.config import get_scale
+from repro.harness.report import Report
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(report: Report, name: str) -> Report:
+        (RESULTS_DIR / f"{name}.txt").write_text(report.render() + "\n")
+        (RESULTS_DIR / f"{name}.json").write_text(report.to_json() + "\n")
+        print("\n" + report.render())
+        return report
+
+    return _save

@@ -1,0 +1,20 @@
+"""Fig. 2 (§2.2 motivation): even per-directory partitioning considered harmful.
+
+Regenerates both panels: (a) per-MDS and aggregate throughput of a 5-MDS
+evenly-partitioned cluster vs one MDS on the web workload; (b) the job
+completion times.  Paper shape: every individual MDS runs well below the
+single MDS, the aggregate reaches only ~1.4x, and JCT shrinks by ~57%.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_fig2_even_partitioning(benchmark, scale, save_report):
+    rep = benchmark.pedantic(
+        lambda: E.fig2_even_partitioning(scale), rounds=1, iterations=1
+    )
+    save_report(rep, "fig2_even_partitioning")
+    # shape assertions: parallelism helps, but far below ideal 5x
+    speedup = rep.data["aggregate_speedup"]
+    assert 1.0 < speedup < 4.0
+    assert 0.0 < rep.data["jct_reduction"] < 0.8

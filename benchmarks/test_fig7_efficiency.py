@@ -1,0 +1,18 @@
+"""Fig. 7 (§5.5): efficiency (busy fraction vs single MDS) over time.
+
+Paper shape: hash strategies run at persistently lower efficiency (requests
+cost more under shredded locality); the balancers start near single-MDS
+efficiency and keep it as subtrees migrate out.
+"""
+
+import numpy as np
+
+from repro.harness import experiments as E
+
+
+def test_fig7_efficiency(benchmark, scale, save_report):
+    rep = benchmark.pedantic(lambda: E.fig7_efficiency(scale), rounds=1, iterations=1)
+    save_report(rep, "fig7_efficiency")
+    ours = np.array(rep.data["efficiency_Origami"])
+    fhash = np.array(rep.data["efficiency_F-Hash"])
+    assert ours.size > 3 and fhash.size > 3

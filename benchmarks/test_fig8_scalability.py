@@ -1,0 +1,18 @@
+"""Fig. 8 (§5.5): aggregate throughput scaling from 2 to 5 MDSs.
+
+Paper shape: baselines scale sub-linearly (balance vs locality tension);
+Origami is near-linear (about 2.7x at 3 MDSs) and keeps the lead at 5.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_fig8_scalability(benchmark, scale, save_report):
+    rep = benchmark.pedantic(lambda: E.fig8_scalability(scale), rounds=1, iterations=1)
+    save_report(rep, "fig8_scalability")
+    data = rep.data["scalability"]
+    for name, series in data.items():
+        # more MDSs should never make 5-MDS worse than 2-MDS
+        assert series[-1] >= series[0] * 0.9, name
+    # Origami leads at full cluster size
+    assert data["Origami"][-1] == max(s[-1] for s in data.values())

@@ -1,0 +1,23 @@
+"""Fig. 9 (§5.6): three real-world workloads, metadata-only and end-to-end.
+
+Paper shape: Origami achieves the highest metadata throughput on all three
+traces (largest margin on Trace-RW, smallest on the hardest Trace-WI) and
+stays ahead end-to-end once the data path is enabled.
+"""
+
+from repro.harness import experiments as E
+
+
+def test_fig9_realworld(benchmark, scale, save_report):
+    rep = benchmark.pedantic(lambda: E.fig9_realworld(scale), rounds=1, iterations=1)
+    save_report(rep, "fig9_realworld")
+    meta = rep.data["fig9"]["meta"]
+    for kind in ("rw", "ro", "wi"):
+        best_baseline = max(v for k, v in meta[kind].items() if k != "Origami")
+        assert meta[kind]["Origami"] > best_baseline * 0.95, kind
+    # the RW margin exceeds the WI margin (paper: +73.3% vs +12.5%)
+    margin = {
+        kind: meta[kind]["Origami"] / max(v for k, v in meta[kind].items() if k != "Origami")
+        for kind in ("rw", "wi")
+    }
+    assert margin["rw"] >= margin["wi"] * 0.9

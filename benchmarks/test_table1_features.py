@@ -1,0 +1,20 @@
+"""Table 1 (§4.3): training features and their Gini-importance ranks.
+
+Paper shape: subtree structure + write activity dominate — '# sub-files' is
+rank 1 and '# write' / 'dir-file ratio' rank 2, while 'depth' is least
+informative (rank 7).
+"""
+
+from repro.harness import experiments as E
+
+
+def test_table1_features(benchmark, scale, save_report):
+    rep = benchmark.pedantic(lambda: E.table1_features(scale), rounds=1, iterations=1)
+    save_report(rep, "table1_features")
+    ranks = rep.data["ranks"]
+    imps = rep.data["importances"]
+    # structural size + write activity must carry much of the signal
+    top3 = sorted(imps, key=imps.get, reverse=True)[:3]
+    assert set(top3) & {"n_sub_files", "n_write", "n_sub_dirs", "dir_file_ratio"}
+    # the weakest features carry little gain
+    assert min(imps.values()) < 0.1

@@ -1,0 +1,22 @@
+"""Table 2 (§5.4): near-root cache on/off — throughput and RPC per request.
+
+Paper shape: caching improves every strategy; RPC/request drops for all;
+Origami benefits the most and lands at ~1.04 RPC/request with the cache
+(its migrations concentrate near the cached root and in deep write-heavy
+subtrees, so forwarding almost vanishes).
+"""
+
+from repro.harness import experiments as E
+
+
+def test_table2_cache(benchmark, scale, save_report):
+    rep = benchmark.pedantic(lambda: E.table2_cache(scale), rounds=1, iterations=1)
+    save_report(rep, "table2_cache")
+    data = rep.data["cache"]
+    for name, row in data.items():
+        assert row["tput_cache"] > row["tput_nocache"], name
+        assert row["rpc_cache"] < row["rpc_nocache"], name
+    # Origami's cached RPC overhead is (essentially) the smallest — the
+    # paper's 1.04; ML-tree can tie, since it migrates so little
+    assert data["Origami"]["rpc_cache"] <= min(v["rpc_cache"] for v in data.values()) + 0.05
+    assert data["Origami"]["rpc_cache"] < 1.3

@@ -1,0 +1,9 @@
+"""Theorem 1 (Appendix A): Meta-OPT's greedy-vs-optimal gap stays under Δ."""
+
+from repro.harness import experiments as E
+
+
+def test_theorem1_gap(benchmark, save_report):
+    rep = benchmark.pedantic(lambda: E.theorem1_gap(), rounds=1, iterations=1)
+    save_report(rep, "theorem1_gap")
+    assert rep.data["all_within_bound"]

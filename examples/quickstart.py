@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a 5-MDS metadata cluster and compare two balancers.
+
+Builds a synthetic compilation workload (the paper's Trace-RW), replays it
+against a simulated OrigamiFS cluster twice — once hashed coarse-grained,
+once with the Lunule-style subtree balancer — and prints the headline
+metrics (throughput, latency, RPC overhead, imbalance).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CoarseHashPolicy,
+    CostParams,
+    LunulePolicy,
+    SeedSequenceFactory,
+    SimConfig,
+    generate_trace_rw,
+    run_simulation,
+)
+
+
+def main() -> None:
+    config = SimConfig(
+        n_mds=5,
+        n_clients=100,
+        epoch_ms=100.0,
+        params=CostParams(cache_depth=2),  # near-root cache on (depth < 2)
+    )
+
+    for policy_cls in (CoarseHashPolicy, LunulePolicy):
+        # fresh namespace + trace per run: the DES mutates the namespace
+        ssf = SeedSequenceFactory(42)
+        built, trace = generate_trace_rw(ssf.stream("workload"), n_ops=30_000)
+        policy = policy_cls()
+        result = run_simulation(built.tree, trace, policy, config)
+        imb = result.imbalance()
+        print(f"--- {result.strategy}")
+        print(f"  ops completed        : {result.ops_completed:,}")
+        print(f"  aggregate throughput : {result.throughput_ops_per_sec / 1000:.1f} kops/s")
+        print(f"  steady-state (post-balancing): {result.steady_state_throughput() / 1000:.1f} kops/s")
+        print(f"  mean latency         : {result.mean_latency_ms * 1000:.0f} us  (p99 {result.p99_latency_ms * 1000:.0f} us)")
+        print(f"  RPCs per request     : {result.rpcs_per_request:.2f}")
+        print(f"  migrations applied   : {result.migrations}")
+        print(f"  imbalance (QPS/Busy) : {imb.qps:.2f} / {imb.busytime:.2f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (offline environments without wheel).
+
+``pip install -e . --no-build-isolation --no-use-pep517`` works against this
+file when the modern PEP-517 path is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,125 @@
+"""Origami reproduction: ML-driven metadata load balancing for distributed FS.
+
+Reproduces Wang et al., *"Origami: Efficient ML-Driven Metadata Load
+Balancing for Distributed File Systems"* (ICPP 2025) as a pure-Python
+system: the analytic RCT/JCT cost model (§3.1), the Meta-OPT migration
+search (§3.2, Algorithm 1), the OrigamiFS metadata cluster as a
+discrete-event simulation (§4.2), the full training workflow (§4.3), the
+paper's baselines, and a benchmark per evaluation figure/table.
+
+Quick tour::
+
+    from repro import (
+        SeedSequenceFactory, generate_trace_rw, CostParams,
+        SimConfig, run_simulation, OrigamiPolicy, CoarseHashPolicy,
+        collect_training_data, train_origami_model,
+    )
+
+    ssf = SeedSequenceFactory(0)
+    built, trace = generate_trace_rw(ssf.stream("w"), n_ops=50_000)
+
+    # train the benefit model (Meta-OPT labels, Table-1 features)
+    data, _ = collect_training_data(built.tree, trace, n_mds=5,
+                                    params=CostParams(cache_depth=2), delta=50.0)
+    model = train_origami_model(data)
+
+    # replay under Origami on a simulated 5-MDS cluster
+    built, trace = generate_trace_rw(SeedSequenceFactory(1).stream("w"))
+    result = run_simulation(built.tree, trace, OrigamiPolicy(model),
+                            SimConfig(n_mds=5))
+    print(result.steady_state_throughput())
+
+See ``examples/`` for runnable end-to-end scripts and ``benchmarks/`` for
+the per-figure reproduction harness.
+"""
+
+from repro.balancers import (
+    AdamRLPolicy,
+    BalancePolicy,
+    CoarseHashPolicy,
+    EvenPartitionPolicy,
+    FineHashPolicy,
+    LunulePolicy,
+    MetaOptOraclePolicy,
+    MLTreePolicy,
+    OrigamiPolicy,
+    SingleMdsPolicy,
+)
+from repro.cluster import ImbalanceReport, MigrationDecision, PartitionMap, imbalance_factor
+from repro.core import MetaOptResult, exhaustive_opt, generate_labels, meta_opt
+from repro.costmodel import ClusterLoad, CostParams, OpType, SubtreeLedger, evaluate_trace
+from repro.fs import OrigamiFS, SimConfig, SimResult, run_simulation
+from repro.ml import FEATURE_NAMES, FeatureExtractor, GBDTRegressor, MLPRegressor, TrainingSet
+from repro.namespace import NamespaceTree
+from repro.sim import Environment, SeedSequenceFactory
+from repro.training import OnlineOrigamiPolicy, collect_training_data, train_models, train_origami_model
+from repro.workloads import (
+    Trace,
+    TraceBuilder,
+    generate_trace_ro,
+    generate_trace_rw,
+    generate_trace_wi,
+)
+from repro.workloads.serialize import load_bundle, save_bundle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # simulation substrate
+    "Environment",
+    "SeedSequenceFactory",
+    # namespace & cluster
+    "NamespaceTree",
+    "PartitionMap",
+    "MigrationDecision",
+    "imbalance_factor",
+    "ImbalanceReport",
+    # cost model
+    "CostParams",
+    "OpType",
+    "evaluate_trace",
+    "ClusterLoad",
+    "SubtreeLedger",
+    # the contribution
+    "meta_opt",
+    "exhaustive_opt",
+    "MetaOptResult",
+    "generate_labels",
+    # ML
+    "GBDTRegressor",
+    "MLPRegressor",
+    "FeatureExtractor",
+    "TrainingSet",
+    "FEATURE_NAMES",
+    # training workflow
+    "collect_training_data",
+    "train_origami_model",
+    "train_models",
+    # workloads
+    "Trace",
+    "TraceBuilder",
+    "generate_trace_rw",
+    "generate_trace_ro",
+    "generate_trace_wi",
+    # simulator
+    "OrigamiFS",
+    "SimConfig",
+    "SimResult",
+    "run_simulation",
+    # policies
+    "BalancePolicy",
+    "SingleMdsPolicy",
+    "EvenPartitionPolicy",
+    "CoarseHashPolicy",
+    "FineHashPolicy",
+    "LunulePolicy",
+    "MLTreePolicy",
+    "AdamRLPolicy",
+    "OrigamiPolicy",
+    "OnlineOrigamiPolicy",
+    "MetaOptOraclePolicy",
+    # tooling
+    "save_bundle",
+    "load_bundle",
+    "__version__",
+]

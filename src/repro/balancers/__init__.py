@@ -1,0 +1,59 @@
+"""Balancing strategies: the paper's baselines plus Origami and the oracle.
+
+Every strategy implements :class:`~repro.balancers.base.BalancePolicy`:
+``setup`` builds the initial partition (hash strategies pre-partition the
+namespace, §5.1), and ``rebalance`` is consulted at each epoch boundary with
+the collector's statistics (subtree strategies migrate, hash strategies
+return nothing).
+
+Implemented strategies (§5.1 "Baseline methods"):
+
+* ``SingleMdsPolicy`` — the 1-MDS performance baseline;
+* ``EvenPartitionPolicy`` — CephFS-style per-directory even distribution
+  (the motivating experiment of Fig. 2);
+* ``CoarseHashPolicy`` (C-Hash) — HopsFS-style hashing of the upper levels;
+* ``FineHashPolicy`` (F-Hash) — Tectonic/InfiniFS-style hashing of all dirs;
+* ``LunulePolicy`` — heuristic load-triggered subtree migration (Lunule's
+  monitoring/trigger, bin-packing-style selection);
+* ``MLTreePolicy`` (ML-tree) — the popularity-predicting ML baseline [42]:
+  predicts next-epoch subtree load and balances on that;
+* :class:`~repro.core.origami.OrigamiPolicy` — predicts migration *benefit*
+  and greedily migrates the highest-benefit subtrees;
+* ``MetaOptOraclePolicy`` — Meta-OPT with oracle knowledge of the next
+  window (the upper bound ML is trained towards).
+"""
+
+from repro.balancers.adam_rl import AdamRLPolicy
+from repro.balancers.base import BalancePolicy, EpochContext, LunuleTrigger
+from repro.balancers.even import EvenPartitionPolicy, SingleMdsPolicy
+from repro.balancers.hashing import CoarseHashPolicy, FineHashPolicy, stable_hash
+from repro.balancers.lunule import LunulePolicy
+from repro.balancers.mltree import MLTreePolicy
+from repro.balancers.oracle import MetaOptOraclePolicy
+
+
+def __getattr__(name: str):
+    # OrigamiPolicy lives in repro.core (it is the paper's contribution) but
+    # is re-exported here next to the baselines; imported lazily to avoid a
+    # package-init cycle (core.origami itself uses balancers.base).
+    if name == "OrigamiPolicy":
+        from repro.core.origami import OrigamiPolicy
+
+        return OrigamiPolicy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BalancePolicy",
+    "EpochContext",
+    "LunuleTrigger",
+    "SingleMdsPolicy",
+    "EvenPartitionPolicy",
+    "CoarseHashPolicy",
+    "FineHashPolicy",
+    "stable_hash",
+    "LunulePolicy",
+    "MLTreePolicy",
+    "AdamRLPolicy",
+    "OrigamiPolicy",
+    "MetaOptOraclePolicy",
+]

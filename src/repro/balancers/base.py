@@ -1,0 +1,107 @@
+"""Policy interface and Lunule's rebalance trigger.
+
+The epoch-driver (analytic pipeline or DES) calls ``rebalance`` with an
+:class:`EpochContext` after every epoch; the policy returns migration
+decisions for the Migrator to apply.  Hash strategies partition once in
+``setup`` and never migrate.
+
+:class:`LunuleTrigger` reproduces the load-monitoring/trigger mechanism the
+paper reuses from Lunule for both ML-tree and Origami (§4.2, §5.1): an epoch
+triggers rebalancing only when the cluster's imbalance factor exceeds a
+threshold *and* at least one MDS is meaningfully loaded — balancing an idle
+cluster is churn for nothing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.imbalance import imbalance_factor
+from repro.cluster.migration import MigrationDecision
+from repro.cluster.partition import PartitionMap
+from repro.costmodel.params import CostParams
+from repro.namespace.stats import EpochSnapshot
+from repro.namespace.tree import NamespaceTree
+from repro.sim.rng import RngStream
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # type-only: avoids a package-import cycle with repro.workloads
+    from repro.workloads.trace import Trace
+
+__all__ = ["EpochContext", "BalancePolicy", "LunuleTrigger"]
+
+
+@dataclass
+class EpochContext:
+    """Everything a policy may consult at an epoch boundary."""
+
+    tree: NamespaceTree
+    pmap: PartitionMap
+    epoch: int
+    #: Data Collector dump for the epoch that just ended
+    snapshot: EpochSnapshot
+    #: per-MDS load observed in the ended epoch (RCT mass or busy time, ms)
+    mds_load: np.ndarray
+    params: CostParams
+    rng: RngStream
+    #: the next window of requests — ONLY the oracle may read this
+    oracle_window: Optional["Trace"] = None
+    #: the operations replayed during the epoch that just ended (hindsight
+    #: material: online learners label it against the current partition,
+    #: which is exactly the partition those ops ran under)
+    completed_window: Optional["Trace"] = None
+
+
+class BalancePolicy(abc.ABC):
+    """A metadata balancing strategy."""
+
+    #: short name used in reports (matches the paper's figure legends)
+    name: str = "base"
+
+    def setup(self, tree: NamespaceTree, n_mds: int, rng: RngStream) -> PartitionMap:
+        """Build the initial partition; default: everything on MDS 0 with
+        subtree placement (OrigamiFS's initial state, §4.2)."""
+        return PartitionMap(tree, n_mds=n_mds, initial_owner=0)
+
+    @abc.abstractmethod
+    def rebalance(self, ctx: EpochContext) -> List[MigrationDecision]:
+        """Migration decisions for this epoch (may be empty)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass
+class LunuleTrigger:
+    """Imbalance-factor trigger with a minimum-load guard."""
+
+    #: rebalance when the imbalance factor exceeds this
+    threshold: float = 0.10
+    #: ...and the busiest MDS carried at least this much load (ms per epoch)
+    min_load: float = 1.0
+
+    def should_rebalance(self, mds_load: np.ndarray) -> bool:
+        mds_load = np.asarray(mds_load, dtype=np.float64)
+        if mds_load.size <= 1 or mds_load.max() < self.min_load:
+            return False
+        return imbalance_factor(mds_load) > self.threshold
+
+
+def subtree_loads(ctx: EpochContext) -> np.ndarray:
+    """Per-directory subtree access totals for the ended epoch (ino-indexed)."""
+    tree = ctx.tree
+    idx = tree.dfs_index()
+    cap = tree.capacity
+
+    def pad(a: np.ndarray) -> np.ndarray:
+        out = np.zeros(cap, dtype=np.float64)
+        n = min(a.shape[0], cap)
+        out[:n] = a[:n]
+        return out
+
+    per_dir = pad(ctx.snapshot.reads) + pad(ctx.snapshot.writes)
+    return idx.subtree_sum(per_dir)

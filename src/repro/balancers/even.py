@@ -1,0 +1,56 @@
+"""Static baselines: single MDS and per-directory even partitioning (Fig. 2)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.balancers.base import BalancePolicy, EpochContext
+from repro.balancers.hashing import stable_hash
+from repro.cluster.migration import MigrationDecision
+from repro.cluster.partition import PartitionMap
+from repro.namespace.tree import ROOT_INO, NamespaceTree
+from repro.sim.rng import RngStream
+
+__all__ = ["SingleMdsPolicy", "EvenPartitionPolicy"]
+
+
+class SingleMdsPolicy(BalancePolicy):
+    """Everything on MDS 0, never rebalanced — the 1-MDS measurement baseline.
+
+    (Run it with ``n_mds=1``; with more MDSs it degenerates into "no
+    balancing", which is occasionally useful as a worst case.)
+    """
+
+    name = "Single"
+
+    def rebalance(self, ctx: EpochContext) -> List[MigrationDecision]:
+        return []
+
+
+class EvenPartitionPolicy(BalancePolicy):
+    """CephFS-style per-directory even distribution (the §2.2 experiment).
+
+    Directories are dealt round-robin across MDSs in breadth-first order —
+    the "evenly distributed metadata per directory via the built-in CephFS
+    function" setup that motivates the paper: inode counts are almost
+    perfectly even, and locality is almost perfectly destroyed.
+    """
+
+    name = "Even"
+
+    def _placement(self, pmap: PartitionMap, parent: int, name: str) -> int:
+        return stable_hash(f"{pmap.tree.path_of(parent)}/{name}", seed=1) % pmap.n_mds
+
+    def setup(self, tree: NamespaceTree, n_mds: int, rng: RngStream) -> PartitionMap:
+        pmap = PartitionMap(tree, n_mds=n_mds, initial_owner=0, placement=self._placement)
+        owners = np.zeros(tree.capacity, dtype=np.int64)
+        dirs = sorted(tree.iter_dirs(), key=lambda d: (tree.depth(d), d))
+        for i, d in enumerate(dirs):
+            owners[d] = 0 if d == ROOT_INO else i % n_mds
+        pmap.assign_bulk(owners)
+        return pmap
+
+    def rebalance(self, ctx: EpochContext) -> List[MigrationDecision]:
+        return []

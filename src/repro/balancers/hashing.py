@@ -1,0 +1,106 @@
+"""Hash-based partitioning baselines: C-Hash and F-Hash (§5.1).
+
+Both pre-partition the namespace before the run and never migrate.
+
+* **C-Hash** (HopsFS-style): only directories at depth ≤ ``levels`` are
+  hashed across MDSs; everything deeper inherits its depth-``levels``
+  ancestor's placement, preserving locality inside each coarse shard.
+* **F-Hash** (Tectonic/InfiniFS-style): every directory is hashed
+  independently by its full path, giving the most even inode spread and the
+  least locality (every path step can hop MDSs).
+
+Hashing uses a seeded stable 64-bit hash (never Python's randomised
+``hash``) so partitions are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+import numpy as np
+
+from repro.balancers.base import BalancePolicy, EpochContext
+from repro.cluster.migration import MigrationDecision
+from repro.cluster.partition import PartitionMap
+from repro.namespace.tree import ROOT_INO, NamespaceTree
+from repro.sim.rng import RngStream
+
+__all__ = ["stable_hash", "CoarseHashPolicy", "FineHashPolicy"]
+
+
+def stable_hash(text: str, seed: int = 0) -> int:
+    """Deterministic 64-bit hash of a string (blake2b, keyed by seed)."""
+    h = hashlib.blake2b(
+        text.encode("utf-8"), digest_size=8, key=seed.to_bytes(8, "little")
+    )
+    return int.from_bytes(h.digest(), "little")
+
+
+class CoarseHashPolicy(BalancePolicy):
+    """C-Hash: hash the top ``levels`` of the namespace; deeper dirs inherit."""
+
+    name = "C-Hash"
+
+    def __init__(self, levels: int = 3, seed: int = 0):
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.levels = levels
+        self.seed = seed
+
+    def _placement(self, pmap: PartitionMap, parent: int, name: str) -> int:
+        tree = pmap.tree
+        depth = tree.depth(parent) + 1
+        if depth <= self.levels:
+            return stable_hash(f"{tree.path_of(parent)}/{name}", self.seed) % pmap.n_mds
+        return pmap.owner(parent)
+
+    def setup(self, tree: NamespaceTree, n_mds: int, rng: RngStream) -> PartitionMap:
+        pmap = PartitionMap(tree, n_mds=n_mds, initial_owner=0, placement=self._placement)
+        owners = np.zeros(tree.capacity, dtype=np.int64)
+        # assign top levels by hash, then propagate down in depth order
+        for d in sorted(tree.iter_dirs(), key=tree.depth):
+            if d == ROOT_INO:
+                owners[d] = 0
+            elif tree.depth(d) <= self.levels:
+                owners[d] = stable_hash(tree.path_of(d), self.seed) % n_mds
+            else:
+                owners[d] = owners[tree.parent(d)]
+        pmap.assign_bulk(owners)
+        return pmap
+
+    def rebalance(self, ctx: EpochContext) -> List[MigrationDecision]:
+        return []
+
+
+class FineHashPolicy(BalancePolicy):
+    """F-Hash: hash every directory independently by its full path."""
+
+    name = "F-Hash"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def _placement(self, pmap: PartitionMap, parent: int, name: str) -> int:
+        return stable_hash(f"{pmap.tree.path_of(parent)}/{name}", self.seed) % pmap.n_mds
+
+    def _file_placement(self, pmap: PartitionMap, parent: int, name: str) -> int:
+        # file inodes shard independently of their parent's dentry shard
+        return stable_hash(f"f:{parent}/{name}", self.seed) % pmap.n_mds
+
+    def setup(self, tree: NamespaceTree, n_mds: int, rng: RngStream) -> PartitionMap:
+        pmap = PartitionMap(
+            tree,
+            n_mds=n_mds,
+            initial_owner=0,
+            placement=self._placement,
+            file_placement=self._file_placement,
+        )
+        owners = np.zeros(tree.capacity, dtype=np.int64)
+        for d in tree.iter_dirs():
+            owners[d] = 0 if d == ROOT_INO else stable_hash(tree.path_of(d), self.seed) % n_mds
+        pmap.assign_bulk(owners)
+        return pmap
+
+    def rebalance(self, ctx: EpochContext) -> List[MigrationDecision]:
+        return []

@@ -1,0 +1,119 @@
+"""Lunule-style heuristic subtree balancer.
+
+Reproduces the load-monitoring + trigger + bin-packing-style selection the
+paper attributes to Lunule [39] and reuses as the trigger for both ML-tree
+and Origami: when the imbalance factor exceeds the trigger threshold, the
+most-loaded MDS exports subtrees until its estimated surplus is shed, each
+export going to the *currently* least-loaded MDS (the load estimate is
+updated move by move, so one epoch spreads exports over several receivers
+instead of dog-piling one).  Selection is purely popularity-driven — the
+classic strategy whose locality-blindness motivates the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.balancers.base import BalancePolicy, EpochContext, LunuleTrigger, subtree_loads
+from repro.cluster.migration import MigrationDecision
+
+__all__ = ["LunulePolicy", "plan_exports", "dir_op_counts"]
+
+
+def dir_op_counts(ctx: EpochContext) -> np.ndarray:
+    """Per-directory (non-rollup) op counts for the ended epoch, ino-indexed."""
+    cap = ctx.tree.capacity
+    per_dir = np.zeros(cap)
+    for arr in (ctx.snapshot.reads, ctx.snapshot.writes):
+        n = min(arr.shape[0], cap)
+        per_dir[:n] += arr[:n]
+    return per_dir
+
+
+def plan_exports(
+    ctx: EpochContext,
+    load_by_subtree: np.ndarray,
+    src: int,
+    max_moves: int,
+    aggressiveness: float = 1.0,
+    min_share: float = 0.02,
+) -> List[Tuple[int, int]]:
+    """Plan (subtree, dst) exports that shed ``src``'s surplus busy time.
+
+    ``load_by_subtree`` is in op counts (observed or predicted); it is
+    converted to busy-ms through the source's own observed totals so the
+    bookkeeping shares units with ``ctx.mds_load``.  Returns at most
+    ``max_moves`` moves; nested subtrees are never double-exported.
+    """
+    pmap, tree = ctx.pmap, ctx.tree
+    loads = np.asarray(ctx.mds_load, dtype=np.float64)
+    owner = pmap.owner_array()
+    per_dir = dir_op_counts(ctx)
+    dirs_of_src = np.nonzero((owner == src) & tree.dir_mask()[: owner.shape[0]])[0]
+    src_ops = float(per_dir[dirs_of_src].sum())
+    if src_ops <= 0 or loads[src] <= 0:
+        return []
+    ms_per_op = float(loads[src]) / src_ops
+
+    uniform = pmap.uniform_subtree_mask()
+    uniform[0] = False
+    cands = np.nonzero(uniform & (owner == src))[0]
+    if cands.size == 0:
+        return []
+    order = cands[np.argsort(-load_by_subtree[cands])]
+    idx = tree.dfs_index()
+    mean = loads.mean()
+
+    est = loads.copy()
+    chosen: List[Tuple[int, int]] = []
+    floor = max(1e-9, (loads[src] - mean) * min_share)
+    for s in order:
+        s = int(s)
+        surplus = (est[src] - mean) * aggressiveness
+        if surplus <= floor or len(chosen) >= max_moves:
+            break
+        move_ms = float(load_by_subtree[s]) * ms_per_op
+        if move_ms <= floor:
+            break  # remaining candidates are dust (sorted descending)
+        if move_ms > surplus * 1.10:
+            continue  # too big for what is left to shed
+        if any(
+            idx.tin[c] <= idx.tin[s] < idx.tout[c]
+            or idx.tin[s] <= idx.tin[c] < idx.tout[s]
+            for c, _ in chosen
+        ):
+            continue  # overlaps (either way) with an already-exported subtree
+        others = np.delete(np.arange(est.shape[0]), src)
+        dst = int(others[np.argmin(est[others])])
+        chosen.append((s, dst))
+        est[src] -= move_ms
+        est[dst] += move_ms
+    return chosen
+
+
+class LunulePolicy(BalancePolicy):
+    """Observed-load heuristic: shed the surplus of the hottest MDS."""
+
+    name = "Lunule"
+
+    def __init__(
+        self,
+        trigger: LunuleTrigger | None = None,
+        max_moves_per_epoch: int = 8,
+    ):
+        self.trigger = trigger or LunuleTrigger()
+        self.max_moves = max_moves_per_epoch
+
+    def rebalance(self, ctx: EpochContext) -> List[MigrationDecision]:
+        if not self.trigger.should_rebalance(ctx.mds_load):
+            return []
+        loads = np.asarray(ctx.mds_load, dtype=np.float64)
+        src = int(np.argmax(loads))
+        sub_loads = subtree_loads(ctx)
+        moves = plan_exports(ctx, sub_loads, src, self.max_moves)
+        return [
+            MigrationDecision(s, src, dst, predicted_benefit=float(sub_loads[s]))
+            for s, dst in moves
+        ]

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments`` — list the available paper experiments;
+* ``run <experiment>`` — regenerate one figure/table and print the report
+  (optionally ``--json out.json`` / ``--scale smoke|default|full``);
+* ``workload <rw|ro|wi>`` — generate a trace and print its characteristics;
+* ``train <rw|ro|wi>`` — run the label-generation + training pipeline and
+  print model quality and Table-1 importances;
+* ``simulate <strategy> <workload>`` — one DES run, headline metrics printed;
+* ``plan <workload>`` — run Meta-OPT as an offline planner and print the
+  migration plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "fig2_even_partitioning",
+    "fig5_overall",
+    "fig6_imbalance",
+    "table1_features",
+    "table2_cache",
+    "fig7_efficiency",
+    "fig8_scalability",
+    "fig9_realworld",
+    "theorem1_gap",
+    "ablation_delta",
+    "ablation_cache_depth",
+    "ablation_models",
+    "ablation_epoch_length",
+    "ablation_online_learning",
+    "ablation_mdtest_uniform",
+    "ablation_cache_design",
+)
+
+_STRATEGIES = (
+    "Single", "Even", "C-Hash", "F-Hash", "Lunule", "ML-tree",
+    "AdaM-RL", "Origami", "Origami-online", "Meta-OPT",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Origami (ICPP 2025) reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list available paper experiments")
+
+    run = sub.add_parser("run", help="regenerate one figure/table")
+    run.add_argument("experiment", choices=_EXPERIMENTS)
+    run.add_argument("--scale", default=None, choices=("smoke", "default", "full"))
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--json", dest="json_out", default=None, help="write report JSON here")
+
+    wl = sub.add_parser("workload", help="generate a trace and describe it")
+    wl.add_argument("kind", choices=("rw", "ro", "wi", "mdtest"))
+    wl.add_argument("--ops", type=int, default=30_000)
+    wl.add_argument("--seed", type=int, default=0)
+    wl.add_argument("--save", default=None, help="save the trace bundle to this .npz path")
+
+    tr = sub.add_parser("train", help="run the training pipeline for a workload family")
+    tr.add_argument("kind", choices=("rw", "ro", "wi"))
+    tr.add_argument("--ops", type=int, default=40_000)
+    tr.add_argument("--rounds", type=int, default=120)
+    tr.add_argument("--seed", type=int, default=7)
+
+    si = sub.add_parser("simulate", help="one DES run of a strategy on a workload")
+    si.add_argument("strategy", choices=_STRATEGIES)
+    si.add_argument("kind", choices=("rw", "ro", "wi", "mdtest"))
+    si.add_argument("--ops", type=int, default=60_000)
+    si.add_argument("--mds", type=int, default=5)
+    si.add_argument("--clients", type=int, default=300)
+    si.add_argument("--seed", type=int, default=42)
+    si.add_argument("--cache-depth", type=int, default=2)
+
+    pl = sub.add_parser("plan", help="offline Meta-OPT migration plan")
+    pl.add_argument("kind", choices=("rw", "ro", "wi"))
+    pl.add_argument("--ops", type=int, default=8_000)
+    pl.add_argument("--mds", type=int, default=5)
+    pl.add_argument("--moves", type=int, default=12)
+    pl.add_argument("--seed", type=int, default=3)
+    return p
+
+
+def _cmd_experiments() -> int:
+    from repro.harness import experiments as E
+
+    for name in _EXPERIMENTS:
+        doc = (getattr(E, name).__doc__ or "").strip().splitlines()[0]
+        print(f"{name:28s} {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness import experiments as E
+    from repro.harness.config import get_scale
+
+    scale = get_scale(args.scale)
+    fn = getattr(E, args.experiment)
+    out = fn(scale, seed=args.seed) if args.experiment != "theorem1_gap" else fn(seed=args.seed)
+    rep = out[0] if isinstance(out, tuple) else out
+    print(rep.render())
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            f.write(rep.to_json())
+        print(f"\n[json written to {args.json_out}]")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.harness.experiments import build_workload
+
+    built, trace = build_workload(args.kind, args.ops, args.seed)
+    tree = built.tree
+    depths = tree.depth_array()[tree.dir_mask()]
+    print(f"workload       : Trace-{args.kind.upper()} ({trace.label})")
+    print(f"operations     : {len(trace):,}")
+    print(f"directories    : {tree.num_dirs:,} (max depth {int(depths.max())}, mean {depths.mean():.1f})")
+    print(f"files          : {tree.num_files:,}")
+    print(f"write fraction : {trace.write_fraction():.1%}")
+    print(f"op mix         : {trace.op_mix()}")
+    uniq, counts = np.unique(trace.dir_ino, return_counts=True)
+    counts = np.sort(counts)[::-1]
+    top5 = counts[: max(1, len(counts) // 20)].sum() / counts.sum()
+    print(f"dir skew       : top-5% of dirs receive {top5:.1%} of ops")
+    if args.save:
+        from repro.workloads.serialize import save_bundle
+
+        save_bundle(args.save, tree, trace)
+        print(f"[bundle written to {args.save}]")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.costmodel import CostParams
+    from repro.harness.experiments import build_workload
+    from repro.ml.importance import rank_features
+    from repro.training import collect_training_data, train_models, train_origami_model
+
+    params = CostParams(cache_depth=2)
+    built, trace = build_workload(args.kind, args.ops, args.seed)
+    print(f"collecting labels from {len(trace):,} ops ...")
+    dataset, _ = collect_training_data(
+        built.tree, trace, n_mds=5, params=params, delta=50.0, ops_per_epoch=4000
+    )
+    print(f"samples: {dataset.n_samples:,}")
+    reports = train_models(dataset, gbdt_rounds=args.rounds)
+    print(f"\n{'model':16s} {'RMSE':>8s} {'R2':>8s} {'Spearman':>9s} {'top-10%':>8s}")
+    for m in reports.values():
+        print(f"{m.name:16s} {m.rmse:8.3f} {m.r2:8.3f} {m.spearman:9.3f} {m.top_decile_overlap:8.3f}")
+    model = train_origami_model(dataset, n_estimators=args.rounds)
+    print("\nfeature importances (split gain):")
+    for name, imp, rank in rank_features(model.feature_importances()):
+        print(f"  rank {rank}: {name:18s} {imp:.3f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.harness.config import ExperimentScale, get_scale
+    from repro.harness.experiments import build_workload, make_policy
+    from repro.costmodel import CostParams
+    from repro.fs import SimConfig, run_simulation
+
+    scale = get_scale()
+    built, trace = build_workload(args.kind, args.ops, args.seed)
+    policy, default_mds = make_policy(args.strategy, args.kind, scale)
+    config = SimConfig(
+        n_mds=args.mds if args.strategy != "Single" else 1,
+        n_clients=args.clients,
+        epoch_ms=scale.epoch_ms,
+        params=CostParams(cache_depth=args.cache_depth),
+        seed=args.seed,
+        oracle_window_ops=9000,
+    )
+    r = run_simulation(built.tree, trace, policy, config)
+    imb = r.imbalance()
+    print(f"strategy            : {r.strategy} on Trace-{args.kind.upper()} ({r.n_mds} MDS)")
+    print(f"ops completed       : {r.ops_completed:,} over {r.duration_ms / 1000:.2f} virtual s")
+    print(f"throughput          : {r.throughput_ops_per_sec / 1000:.1f} kops/s "
+          f"(steady-state {r.steady_state_throughput() / 1000:.1f})")
+    print(f"latency mean/p99    : {r.mean_latency_ms * 1000:.0f} / {r.p99_latency_ms * 1000:.0f} us")
+    print(f"RPCs per request    : {r.rpcs_per_request:.3f}")
+    print(f"migrations          : {r.migrations} ({r.inodes_migrated:,} inodes)")
+    print(f"imbalance QPS/Busy  : {imb.qps:.2f} / {imb.busytime:.2f}")
+    print(f"cache hit rate      : {r.cache_hit_rate:.1%}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.cluster import PartitionMap
+    from repro.costmodel import CostParams, evaluate_trace
+    from repro.core import meta_opt
+    from repro.harness.experiments import build_workload
+
+    params = CostParams(cache_depth=2)
+    built, trace = build_workload(args.kind, max(args.ops * 2, args.ops), args.seed)
+    tree = built.tree
+    window = trace[: args.ops]
+    pmap = PartitionMap(tree, n_mds=args.mds)
+    before = evaluate_trace(window, tree, pmap, params)
+    delta = before.jct * 0.2
+    plan = meta_opt(window, tree, pmap, params, delta=delta, max_migrations=args.moves)
+    print(f"window: {len(window):,} ops; JCT {before.jct:.1f} ms -> {plan.jct_after:.1f} ms "
+          f"({plan.improvement:.1%} better), Δ = {delta:.1f} ms")
+    for i, d in enumerate(plan.decisions):
+        print(f"  {i + 1:2d}. {tree.path_of(d.subtree_root):44s} "
+              f"MDS{d.src} -> MDS{d.dst}  benefit {d.predicted_benefit:9.2f} ms")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

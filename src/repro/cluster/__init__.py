@@ -1,0 +1,23 @@
+"""Metadata-cluster state: partition map, migrations, imbalance metrics.
+
+A *partition* assigns every directory to one MDS; files always live with
+their parent directory (directories are the balancing unit).  The partition
+map supports the two access patterns the rest of the system needs:
+
+* point queries and subtree migrations (the Migrator, hash placement);
+* bulk vectorised views (owner arrays, boundary masks, uniform-subtree
+  masks) that feed the analytic cost model and Meta-OPT's candidate
+  enumeration.
+"""
+
+from repro.cluster.imbalance import ImbalanceReport, imbalance_factor
+from repro.cluster.migration import MigrationDecision, MigrationLog
+from repro.cluster.partition import PartitionMap
+
+__all__ = [
+    "PartitionMap",
+    "MigrationDecision",
+    "MigrationLog",
+    "imbalance_factor",
+    "ImbalanceReport",
+]

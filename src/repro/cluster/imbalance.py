@@ -1,0 +1,74 @@
+"""Imbalance factor (Lunule's metric) over cluster load vectors.
+
+Definition (§5.3): ranges 0..1, 0 = perfectly even, 1 = everything on one
+MDS.  For a load vector ``L`` over ``n`` MDSs::
+
+    IF = (max(L) - mean(L)) / (sum(L) - mean(L))
+
+which is 0 when all entries equal and exactly 1 when a single MDS carries the
+whole load (max = sum), matching the paper's "an Imbalance Factor of 1 means
+all requests go to a single MDS" for any cluster size.
+
+The paper evaluates four load metrics (Fig. 6): QPS (requests processed),
+RPCs handled, Inodes stored, and BusyTime (metadata processing time);
+:class:`ImbalanceReport` bundles all four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["imbalance_factor", "ImbalanceReport"]
+
+
+def imbalance_factor(loads: Sequence[float]) -> float:
+    """Imbalance factor of a per-MDS load vector (0 = even, 1 = one hot MDS)."""
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("loads must be a non-empty 1-D vector")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    if arr.size == 1:
+        return 0.0
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    mean = total / arr.size
+    # clamp: equal loads can yield a tiny negative numerator in floating point
+    return float(min(max((arr.max() - mean) / (total - mean), 0.0), 1.0))
+
+
+@dataclass
+class ImbalanceReport:
+    """Fig. 6's four imbalance metrics for one strategy/run."""
+
+    qps: float
+    rpcs: float
+    inodes: float
+    busytime: float
+
+    @classmethod
+    def from_loads(
+        cls,
+        qps: Sequence[float],
+        rpcs: Sequence[float],
+        inodes: Sequence[float],
+        busytime: Sequence[float],
+    ) -> "ImbalanceReport":
+        return cls(
+            qps=imbalance_factor(qps),
+            rpcs=imbalance_factor(rpcs),
+            inodes=imbalance_factor(inodes),
+            busytime=imbalance_factor(busytime),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "QPS": self.qps,
+            "RPCs": self.rpcs,
+            "Inodes": self.inodes,
+            "BusyTime": self.busytime,
+        }

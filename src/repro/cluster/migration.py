@@ -1,0 +1,82 @@
+"""Migration decisions and their application log.
+
+A decision is the triple the paper's Migrator consumes: ``(subtree path,
+source MDS, destination MDS)``.  The log records what moved and how much,
+which feeds the migration-overhead accounting in the DES (moving metadata
+costs the source and destination MDSs busy time proportional to the number
+of entries moved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.partition import PartitionMap
+
+__all__ = ["MigrationDecision", "MigrationLog"]
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """One subtree move: migrate ``subtree_root``'s directory subtree to ``dst``."""
+
+    subtree_root: int
+    src: int
+    dst: int
+    #: model-predicted benefit (ms of JCT saved); diagnostics only
+    predicted_benefit: float = 0.0
+
+    def validate(self, pmap: PartitionMap) -> None:
+        if self.src == self.dst:
+            raise ValueError("src == dst is not a migration")
+        if not 0 <= self.dst < pmap.n_mds:
+            raise ValueError(f"dst {self.dst} out of range")
+        actual = pmap.owner(self.subtree_root)
+        if actual != self.src:
+            raise ValueError(
+                f"subtree {self.subtree_root} is owned by {actual}, not {self.src}"
+            )
+
+
+@dataclass
+class AppliedMigration:
+    decision: MigrationDecision
+    dirs_moved: int
+    inodes_moved: int
+    epoch: int
+
+
+@dataclass
+class MigrationLog:
+    """Chronological record of applied migrations."""
+
+    applied: List[AppliedMigration] = field(default_factory=list)
+
+    def apply(
+        self, pmap: PartitionMap, decision: MigrationDecision, epoch: int = 0
+    ) -> AppliedMigration:
+        """Validate and execute ``decision`` against ``pmap``; record it."""
+        decision.validate(pmap)
+        tree = pmap.tree
+        idx = tree.dfs_index()
+        dirs = idx.dirs_in_subtree(decision.subtree_root)
+        file_counts = tree.child_file_counts()
+        inodes = int(dirs.shape[0] + file_counts[dirs].sum())
+        pmap.migrate_subtree(decision.subtree_root, decision.dst)
+        rec = AppliedMigration(
+            decision=decision, dirs_moved=int(dirs.shape[0]), inodes_moved=inodes, epoch=epoch
+        )
+        self.applied.append(rec)
+        return rec
+
+    @property
+    def total_migrations(self) -> int:
+        return len(self.applied)
+
+    @property
+    def total_inodes_moved(self) -> int:
+        return sum(a.inodes_moved for a in self.applied)
+
+    def in_epoch(self, epoch: int) -> List[AppliedMigration]:
+        return [a for a in self.applied if a.epoch == epoch]

@@ -1,0 +1,346 @@
+"""Directory → MDS ownership map.
+
+Ownership is stored densely (``int16`` per ino, ``-1`` for non-directories),
+so every consumer that wants bulk views (cost evaluation, Meta-OPT candidate
+enumeration, imbalance metrics) works on plain NumPy arrays.
+
+Two placement regimes share this one class:
+
+* **subtree placement** (CephFS/Lunule/Origami style): new directories
+  inherit their parent's owner; ownership changes only through
+  :meth:`migrate_subtree`.
+* **hash placement** (C-Hash / F-Hash): a ``placement`` callable pins each
+  new directory independently; :meth:`assign_dir` applies it.
+
+``version`` increments on every ownership change; caches (path-m memo,
+child-owner multisets) key on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.namespace.tree import ROOT_INO, NamespaceTree
+
+__all__ = ["PartitionMap"]
+
+
+class PartitionMap:
+    """Assignment of live directories to MDS ranks ``0..n_mds-1``."""
+
+    def __init__(
+        self,
+        tree: NamespaceTree,
+        n_mds: int,
+        initial_owner: int = 0,
+        placement: Optional[Callable[["PartitionMap", int, str], int]] = None,
+        file_placement: Optional[Callable[["PartitionMap", int, str], int]] = None,
+    ):
+        if n_mds < 1:
+            raise ValueError("need at least one MDS")
+        if not 0 <= initial_owner < n_mds:
+            raise ValueError(f"initial owner {initial_owner} out of range")
+        self.tree = tree
+        self.n_mds = n_mds
+        #: callable (pmap, parent_ino, name) -> owner for newly created dirs;
+        #: None means "inherit the parent's owner" (subtree placement).
+        self.placement = placement
+        #: where *file inodes* live relative to their parent's dentry shard:
+        #: None colocates them (subtree/coarse-hash regimes); fine-grained
+        #: hashing sets a callable, splitting file mutations across shards —
+        #: the distributed-transaction penalty CFS [40] documents.
+        self.file_placement = file_placement
+        self._lsdir_cache: Dict[int, tuple] = {}
+        # physical storage may exceed the logical size (amortised doubling so
+        # per-file-create growth is O(1) amortised, never O(capacity))
+        self._owner = np.full(tree.capacity, -1, dtype=np.int16)
+        self._filled = tree.capacity
+        mask = tree.dir_mask()
+        self._owner[mask] = initial_owner
+        self.version = 0
+        self._tree_version = tree.version
+
+    # ------------------------------------------------------------ sync/grow
+    def _sync(self) -> None:
+        """Grow/refresh the owner array after tree mutations.
+
+        Newly created directories get their owner from ``placement`` (or
+        inherit the parent's); deleted directories drop to ``-1``.  File
+        creation (the dominant mutation during replay) costs O(1) amortised.
+        """
+        tree = self.tree
+        cap = tree.capacity
+        version_changed = self._tree_version != tree.version
+        if not version_changed and self._filled == cap:
+            return
+        if getattr(self, "_syncing", False):
+            # placement callables may query owner()/new_dir_owner() while we
+            # are filling new inos; parents precede children in ino order, so
+            # the partially-filled array is already correct for them
+            return
+        self._syncing = True
+        if self._owner.shape[0] < cap:
+            phys = np.full(max(cap, self._owner.shape[0] * 2), -1, dtype=np.int16)
+            phys[: self._owner.shape[0]] = self._owner
+            self._owner = phys
+        if self._filled < cap:
+            # fill new inos in ino order (parents always precede children)
+            for ino in range(self._filled, cap):
+                if not tree._alive[ino] or tree._ftype[ino] != 0:
+                    continue
+                if self.placement is not None:
+                    self._owner[ino] = self.placement(self, tree._parent[ino], tree._name[ino])
+                else:
+                    po = self._owner[tree._parent[ino]]
+                    self._owner[ino] = po if po >= 0 else 0
+            self._filled = cap
+        if version_changed:
+            # directory structure changed: clear owners of dead/non-dir inos
+            mask = tree.dir_mask()
+            view = self._owner[:cap]
+            view[~mask] = -1
+            # any live dir left unowned (e.g. re-created) inherits/places
+            missing = np.nonzero(mask & (view == -1))[0]
+            parents = tree.parent_array()
+            for ino in missing:
+                ino = int(ino)
+                if self.placement is not None:
+                    view[ino] = self.placement(self, int(parents[ino]), tree.name(ino))
+                else:
+                    po = view[int(parents[ino])]
+                    view[ino] = po if po >= 0 else 0
+        self._tree_version = tree.version
+        self.version += 1
+        self._syncing = False
+
+    # -------------------------------------------------------------- queries
+    def owner(self, ino: int) -> int:
+        """Owner of a directory (or of a file's parent directory)."""
+        self._sync()
+        d = self.tree.owning_dir(ino)
+        o = int(self._owner[d])
+        if o < 0:
+            raise KeyError(f"ino {d} has no owner (not a live directory?)")
+        return o
+
+    def owner_array(self) -> np.ndarray:
+        """Dense owner view indexed by ino (-1 for non-dirs). Do not mutate."""
+        self._sync()
+        return self._owner[: self.tree.capacity]
+
+    def new_dir_owner(self, parent_ino: int, name: str) -> int:
+        """Where a directory created as ``parent/name`` would land."""
+        self._sync()
+        if self.placement is not None:
+            return self.placement(self, parent_ino, name)
+        return self.owner(parent_ino)
+
+    def is_boundary(self, dir_ino: int) -> bool:
+        """True iff ``dir_ino`` is owned differently from its parent (subtree root)."""
+        self._sync()
+        if dir_ino == ROOT_INO:
+            return False
+        return self._owner[dir_ino] != self._owner[self.tree.parent(dir_ino)]
+
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean array indexed by ino: live dir whose owner differs from parent's."""
+        self._sync()
+        tree = self.tree
+        parents = tree.parent_array()
+        mask = tree.dir_mask()
+        out = np.zeros(tree.capacity, dtype=bool)
+        dirs = np.nonzero(mask)[0]
+        out[dirs] = self._owner[dirs] != self._owner[parents[dirs]]
+        out[ROOT_INO] = False
+        return out
+
+    def uniform_subtree_mask(self) -> np.ndarray:
+        """Boolean array: directory subtrees with a single owner throughout.
+
+        These are Meta-OPT's migration candidates — migrating a mixed-owner
+        subtree would not be a single (src, dst) move.  Computed with two
+        DFS-order segment min/max sweeps, O(#dirs).
+        """
+        self._sync()
+        idx = self.tree.dfs_index()
+        owners = self._owner[: self.tree.capacity].astype(np.float64)
+        owners_inf = owners.copy()
+        owners_inf[owners < 0] = np.inf
+        # min over subtree
+        vals = owners_inf[idx.order]
+        n = vals.shape[0]
+        # running min/max per subtree via np.minimum.accumulate trick does not
+        # give segment queries; use a sparse table-free approach: since
+        # subtree == contiguous DFS interval, use prefix min via sorted
+        # segment reduction. For clarity and O(n log n), build a sparse table.
+        mins = _interval_reduce(vals, idx, np.minimum)
+        maxs = _interval_reduce(vals, idx, np.maximum)
+        out = np.zeros(self.tree.capacity, dtype=bool)
+        live = idx.order
+        out[live] = mins[live] == maxs[live]
+        return out
+
+    # ------------------------------------------------------------ mutations
+    def migrate_subtree(self, root_ino: int, dst: int) -> int:
+        """Reassign every directory in ``root_ino``'s subtree to ``dst``.
+
+        Returns the number of directories moved (counting those already on
+        ``dst`` — the caller's MigrationLog can subtract if it cares).
+        """
+        self._sync()
+        if not 0 <= dst < self.n_mds:
+            raise ValueError(f"dst {dst} out of range")
+        self.tree._check_dir(root_ino)
+        idx = self.tree.dfs_index()
+        dirs = idx.dirs_in_subtree(root_ino)
+        self._owner[dirs] = dst
+        self.version += 1
+        return int(dirs.shape[0])
+
+    def assign_dir(self, dir_ino: int, mds: int) -> None:
+        """Pin a single directory (hash placement bootstrap)."""
+        self._sync()
+        if not 0 <= mds < self.n_mds:
+            raise ValueError(f"mds {mds} out of range")
+        self.tree._check_dir(dir_ino)
+        self._owner[dir_ino] = mds
+        self.version += 1
+
+    def assign_bulk(self, owners: np.ndarray) -> None:
+        """Overwrite ownership for all live dirs from an ino-indexed array."""
+        self._sync()
+        owners = np.asarray(owners)
+        if owners.shape[0] != self.tree.capacity:
+            raise ValueError("owners array must be ino-indexed with tree capacity")
+        mask = self.tree.dir_mask()
+        vals = owners[mask]
+        if vals.size and (vals.min() < 0 or vals.max() >= self.n_mds):
+            raise ValueError("owner out of range in bulk assignment")
+        self._owner[: self.tree.capacity][mask] = owners[mask].astype(np.int16)
+        self.version += 1
+
+    # ------------------------------------------------------------- summaries
+    def dirs_per_mds(self) -> np.ndarray:
+        self._sync()
+        counts = np.zeros(self.n_mds, dtype=np.int64)
+        live = self._owner[self._owner >= 0]
+        np.add.at(counts, live.astype(np.int64), 1)
+        return counts
+
+    def inodes_per_mds(self) -> np.ndarray:
+        """Metadata entries per MDS: each dir counts itself + its child files."""
+        self._sync()
+        tree = self.tree
+        per_dir = 1 + tree.child_file_counts()
+        counts = np.zeros(self.n_mds, dtype=np.int64)
+        mask = tree.dir_mask()
+        dirs = np.nonzero(mask)[0]
+        np.add.at(counts, self._owner[dirs].astype(np.int64), per_dir[dirs])
+        return counts
+
+    def child_owner_counts(self, dir_ino: int) -> Dict[int, int]:
+        """Multiset of owners among ``dir_ino``'s child directories."""
+        self._sync()
+        out: Dict[int, int] = {}
+        for child in self.tree.children(dir_ino).values():
+            o = self._owner[child]
+            if o >= 0:
+                out[int(o)] = out.get(int(o), 0) + 1
+        return out
+
+    def file_owner(self, parent_ino: int, name: str) -> int:
+        """MDS storing the inode of file ``parent/name``.
+
+        With colocating placement this is the parent's owner; fine-grained
+        hashing shards file inodes independently.
+        """
+        if self.file_placement is not None:
+            return self.file_placement(self, parent_ino, name)
+        return self.owner(parent_ino)
+
+    def lsdir_owners(self, dir_ino: int) -> frozenset:
+        """Distinct *other* MDSs holding this directory's children.
+
+        Includes child directories always, and child file inodes when file
+        placement shards them.  Cached per partition version: lsdir-heavy
+        traces hit the same hot directories repeatedly.
+        """
+        self._sync()
+        hit = self._lsdir_cache.get(dir_ino)
+        if hit is not None and hit[0] == (self.version, self.tree.version):
+            return hit[1]
+        own = self.owner(dir_ino)
+        others = {
+            int(self._owner[c])
+            for c in self.tree.children(dir_ino).values()
+            if self._owner[c] >= 0 and self._owner[c] != own
+        }
+        if self.file_placement is not None:
+            for name, c in self.tree.children(dir_ino).items():
+                if self._owner[c] < 0:  # a file entry
+                    o = self.file_placement(self, dir_ino, name)
+                    if o != own:
+                        others.add(int(o))
+        result = frozenset(others)
+        self._lsdir_cache[dir_ino] = ((self.version, self.tree.version), result)
+        return result
+
+    def lsdir_fanout(self, dir_ino: int) -> int:
+        """Eq. (2)'s ``i`` for lsdir: distinct *other* MDSs holding children."""
+        return len(self.lsdir_owners(dir_ino))
+
+    def copy(self) -> "PartitionMap":
+        """Independent copy sharing the same tree (what-if evaluation)."""
+        self._sync()
+        dup = PartitionMap.__new__(PartitionMap)
+        dup.tree = self.tree
+        dup.n_mds = self.n_mds
+        dup.placement = self.placement
+        dup.file_placement = self.file_placement
+        dup._lsdir_cache = {}
+        dup._owner = self._owner.copy()
+        dup._filled = self._filled
+        dup.version = self.version
+        dup._tree_version = self._tree_version
+        return dup
+
+
+def _interval_reduce(vals: np.ndarray, idx, op) -> np.ndarray:
+    """Reduce ``vals`` (in DFS order) over every subtree interval with ``op``.
+
+    Sparse-table (binary lifting) range query: build log-levels once, then
+    answer every directory's [tin, tout) interval in O(1).  Total
+    O(n log n) — the candidate-enumeration hot path calls this twice per
+    Meta-OPT iteration.
+    """
+    n = vals.shape[0]
+    out = np.full(idx.tin.shape[0], np.nan)
+    if n == 0:
+        return out
+    levels = [vals]
+    k = 1
+    while (1 << k) <= n:
+        prev = levels[-1]
+        span = 1 << (k - 1)
+        levels.append(op(prev[: prev.shape[0] - span], prev[span:]))
+        k += 1
+    live = idx.order
+    lo = idx.tin[live]
+    hi = idx.tout[live]
+    length = hi - lo
+    # level to use per query
+    lev = np.zeros(length.shape[0], dtype=np.int64)
+    nz = length > 0
+    lev[nz] = np.floor(np.log2(length[nz])).astype(np.int64)
+    res = np.empty(length.shape[0])
+    for L in np.unique(lev):
+        m = lev == L
+        span = 1 << int(L)
+        table = levels[int(L)]
+        a = table[lo[m]]
+        b = table[hi[m] - span]
+        res[m] = op(a, b)
+    out[live] = res
+    return out

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: Meta-OPT, benefit labels, Origami policy.
+
+* :mod:`~repro.core.metaopt` — Algorithm 1: greedy near-optimal subtree
+  migration search against a known future request sequence, with the Δ
+  imbalance guard; plus an exhaustive oracle for small instances.
+* :mod:`~repro.core.theory` — Appendix A's benefit formulas and the
+  Theorem 1 sub-optimality bound, checkable numerically.
+* :mod:`~repro.core.labels` — per-subtree migration-benefit labels for ML
+  training (§4.3 "Label generation").
+* :mod:`~repro.core.origami` — the online Origami policy: predicted benefits
+  (from a trained model) fed into the same greedy migrate-highest-benefit
+  loop OrigamiFS's Metadata Balancer runs.
+"""
+
+from repro.core.labels import LabelledEpoch, generate_labels
+from repro.core.metaopt import MetaOptResult, exhaustive_opt, meta_opt
+from repro.core.origami import OrigamiPolicy
+from repro.core.theory import greedy_benefit, optimal_nested_benefit, theorem1_gap_bound_holds
+
+__all__ = [
+    "meta_opt",
+    "exhaustive_opt",
+    "MetaOptResult",
+    "generate_labels",
+    "LabelledEpoch",
+    "OrigamiPolicy",
+    "greedy_benefit",
+    "optimal_nested_benefit",
+    "theorem1_gap_bound_holds",
+]

@@ -1,0 +1,81 @@
+"""Per-subtree migration-benefit labels (§4.3, "Label generation").
+
+Bélády-style supervision: with the next window of requests known, the ledger
+computes — for every candidate subtree — the JCT benefit of its best
+admissible migration.  Those benefits are the regression targets the ML
+models learn to predict from the (past-epoch) features of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.partition import PartitionMap
+from repro.costmodel.ledger import SubtreeLedger
+from repro.costmodel.params import CostParams
+from repro.namespace.tree import NamespaceTree
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # type-only: avoids a package-import cycle with repro.workloads
+    from repro.workloads.trace import Trace
+
+__all__ = ["LabelledEpoch", "generate_labels"]
+
+
+@dataclass
+class LabelledEpoch:
+    """Benefit labels for one epoch's candidate subtrees."""
+
+    epoch: int
+    #: candidate subtree-root inos
+    candidates: np.ndarray
+    #: best admissible JCT benefit per candidate (>= 0; 0 = don't migrate)
+    benefits: np.ndarray
+    #: destination achieving that benefit (-1 where benefit == 0)
+    best_dst: np.ndarray
+    #: JCT of the window under the unmodified partition
+    base_jct: float
+
+    def positive_fraction(self) -> float:
+        """Fraction of candidates with a strictly beneficial migration."""
+        if self.candidates.size == 0:
+            return 0.0
+        return float((self.benefits > 0).mean())
+
+
+def generate_labels(
+    window: "Trace",
+    tree: NamespaceTree,
+    pmap: PartitionMap,
+    params: CostParams,
+    delta: float,
+    epoch: int = 0,
+) -> LabelledEpoch:
+    """Compute benefit labels for every candidate under the current partition.
+
+    A candidate's label is its best benefit over all destinations that pass
+    the Δ guard; inadmissible or harmful moves label 0 (the model should
+    learn "leave it alone").
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    ledger = SubtreeLedger(window, tree, pmap, params)
+    cands = ledger.candidates
+    best_benefit = np.zeros(cands.shape[0], dtype=np.float64)
+    best_dst = np.full(cands.shape[0], -1, dtype=np.int64)
+    for dst in range(pmap.n_mds):
+        ev = ledger.evaluate_dst(dst)
+        admissible = ev.valid & (ev.dst_minus_src < delta) & (ev.benefit > 0)
+        better = admissible & (ev.benefit > best_benefit)
+        best_benefit[better] = ev.benefit[better]
+        best_dst[better] = dst
+    return LabelledEpoch(
+        epoch=epoch,
+        candidates=cands,
+        benefits=best_benefit,
+        best_dst=best_dst,
+        base_jct=ledger.base.jct,
+    )

@@ -1,0 +1,35 @@
+"""Analytic request/job completion-time model (paper §3.1–3.2).
+
+This package turns (trace, namespace, partition) into costs:
+
+* :mod:`~repro.costmodel.params` — the cost constants of Eq. (1)/(2)
+  (``T_inode``, ``T_exec``, ``RTT``, ``T_coor``) with calibration notes;
+* :mod:`~repro.costmodel.optypes` — metadata operation types and the three
+  cost categories of Eq. (2) (lsdir / namespace-mutation / others);
+* :mod:`~repro.costmodel.rct` — per-request RCT decomposition;
+* :mod:`~repro.costmodel.evaluate` — full-trace evaluation: per-MDS RCT
+  sums, JCT (bin-packing max), RPC counts — the reference ("naive")
+  implementation of ``JCT(N, M)`` from Algorithm 1;
+* :mod:`~repro.costmodel.ledger` — the fast per-subtree ``(l_s, o_s)``
+  aggregates of Appendix A, giving O(#MDS) what-if evaluation per candidate
+  migration; verified against ``evaluate`` in tests.
+"""
+
+from repro.costmodel.evaluate import ClusterLoad, evaluate_trace
+from repro.costmodel.ledger import SubtreeLedger
+from repro.costmodel.optypes import CATEGORY_LSDIR, CATEGORY_NSMUT, CATEGORY_READ, OpType, category_of
+from repro.costmodel.params import CostParams
+from repro.costmodel.rct import request_rct
+
+__all__ = [
+    "CostParams",
+    "OpType",
+    "category_of",
+    "CATEGORY_READ",
+    "CATEGORY_LSDIR",
+    "CATEGORY_NSMUT",
+    "request_rct",
+    "evaluate_trace",
+    "ClusterLoad",
+    "SubtreeLedger",
+]

@@ -1,0 +1,74 @@
+"""Metadata operation types and Eq. (2)'s three cost categories.
+
+The paper groups primary metadata requests into:
+
+* ``lsdir`` — directory listings; migrated children add ``RTT * i`` where
+  ``i`` is the number of *other* MDSs holding the directory's children;
+* ``ns-m`` — namespace mutations (create/mkdir/rmdir/unlink/rename); when
+  parent and target live on different MDSs they pay ``T_coor`` once for the
+  distributed transaction;
+* ``others`` — everything else (stat/open/getattr); unaffected beyond the
+  baseline ``T_inode*(m+k) + T_exec`` and the ``m·RTT`` hops.
+
+Reads vs writes (for the Table-1 features) follow the paper: metadata read
+ops are open()/stat()-like (lsdir included), metadata write ops are the
+namespace mutations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "OpType",
+    "category_of",
+    "CATEGORY_READ",
+    "CATEGORY_LSDIR",
+    "CATEGORY_NSMUT",
+    "CATEGORY_ARRAY",
+    "IS_WRITE_ARRAY",
+]
+
+CATEGORY_READ = 0
+CATEGORY_LSDIR = 1
+CATEGORY_NSMUT = 2
+
+
+class OpType(enum.IntEnum):
+    """Concrete metadata operations appearing in traces."""
+
+    STAT = 0
+    OPEN = 1
+    GETATTR = 2
+    READDIR = 3
+    CREATE = 4
+    MKDIR = 5
+    UNLINK = 6
+    RMDIR = 7
+    RENAME = 8
+
+
+_CATEGORY = {
+    OpType.STAT: CATEGORY_READ,
+    OpType.OPEN: CATEGORY_READ,
+    OpType.GETATTR: CATEGORY_READ,
+    OpType.READDIR: CATEGORY_LSDIR,
+    OpType.CREATE: CATEGORY_NSMUT,
+    OpType.MKDIR: CATEGORY_NSMUT,
+    OpType.UNLINK: CATEGORY_NSMUT,
+    OpType.RMDIR: CATEGORY_NSMUT,
+    OpType.RENAME: CATEGORY_NSMUT,
+}
+
+#: vectorised category lookup indexed by OpType value
+CATEGORY_ARRAY = np.array([_CATEGORY[OpType(v)] for v in range(len(OpType))], dtype=np.int8)
+
+#: vectorised "is a metadata write" lookup (Table-1 feature accounting)
+IS_WRITE_ARRAY = CATEGORY_ARRAY == CATEGORY_NSMUT
+
+
+def category_of(op: "OpType | int") -> int:
+    """Cost category (Eq. 2) for an operation."""
+    return int(CATEGORY_ARRAY[int(op)])

@@ -1,0 +1,37 @@
+"""OrigamiFS: a discrete-event simulation of the paper's metadata service.
+
+This package replaces the Go prototype the paper builds (§4.2) with a DES of
+the same architecture, running on the cost model of §3.1:
+
+* :class:`~repro.fs.server.MdsServer` — one process per MDS: a FIFO service
+  queue (queueing is emergent, Eq. 1's ``Q_i``), an LSM inode store
+  (:mod:`repro.kvstore`, the PebblesDB stand-in), busy-time and RPC
+  accounting.
+* :class:`~repro.fs.client.ClientWorker` — the OrigamiFS SDK: recursive path
+  resolution with the near-root metadata cache, closed-loop replay of a
+  shared trace (50 client threads saturate the cluster exactly as in §5.2).
+* :class:`~repro.fs.migrator.Migrator` — applies external migration
+  decisions (the pluggable pipeline of §4.1), charging migration busy time
+  to both ends and moving the KV records.
+* :class:`~repro.fs.driver.EpochDriver` — the Data Collector + Metadata
+  Balancer loop: every epoch it snapshots per-directory statistics, asks the
+  plugged-in policy for decisions, and pipes them to the Migrator.
+* :class:`~repro.fs.datapath.DataCluster` — bandwidth-modelled data servers
+  for end-to-end (metadata + data) runs (Fig. 9b).
+* :func:`~repro.fs.filesystem.run_simulation` — assembles everything from a
+  :class:`~repro.fs.filesystem.SimConfig` and returns a
+  :class:`~repro.fs.metrics.SimResult`.
+"""
+
+from repro.fs.cache import NearRootCache
+from repro.fs.filesystem import OrigamiFS, SimConfig, run_simulation
+from repro.fs.metrics import EpochMetrics, SimResult
+
+__all__ = [
+    "SimConfig",
+    "SimResult",
+    "EpochMetrics",
+    "OrigamiFS",
+    "run_simulation",
+    "NearRootCache",
+]

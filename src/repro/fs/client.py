@@ -1,0 +1,207 @@
+"""Client workers: the OrigamiFS SDK replaying the shared trace.
+
+Each worker is a closed-loop client thread: fetch the next operation from
+the shared cursor, resolve the path (consulting the near-root cache),
+contact each involved MDS in path order, apply the namespace mutation, then
+immediately fetch the next operation.  Fifty workers against five MDSs is
+the saturation setup of §5.2; one worker gives the single-thread latency
+measurement of Fig. 5b.
+
+The per-owner service times are the exact DES realisation of Eq. (2): each
+contacted MDS reads its share of the path's inodes plus one fake inode, the
+primary additionally pays ``T_exec`` and the op-specific extra.  With an
+uncontended server the client-observed latency reproduces the analytic RCT
+to float precision (asserted in tests/test_fs_parity.py).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.costmodel.optypes import (
+    CATEGORY_LSDIR,
+    CATEGORY_NSMUT,
+    OpType,
+    category_of,
+)
+
+__all__ = ["ClientWorker"]
+
+
+class ClientWorker:
+    """One closed-loop client thread."""
+
+    def __init__(self, fs, worker_id: int):
+        self.fs = fs
+        self.worker_id = worker_id
+        self.ops_done = 0
+
+    # ------------------------------------------------------------- planning
+    def _plan(self, op: int, dir_ino: int) -> Tuple[List[Tuple[int, int]], int]:
+        """Plan the RPC sequence for a request targeting ``dir_ino``.
+
+        Returns ``(visits, primary)`` where visits is an ordered list of
+        ``(mds, n_inode_reads)`` — one entry per contacted MDS in path order
+        — covering the uncached path components plus the target entry.
+        """
+        fs = self.fs
+        tree = fs.tree
+        owner_arr = fs.pmap.owner_array()
+        cache = fs.cache
+        primary = int(owner_arr[dir_ino])
+
+        # non-root chain dirs, root-first
+        now = fs.env.now
+        chain = tree.resolve(dir_ino)[1:]
+        reads: Dict[int, int] = {}
+        order: List[int] = []
+        for d in chain:
+            if cache.covers(d, now):
+                continue
+            cache.grant(d, now)  # fetched below; lease caches remember it
+            o = int(owner_arr[d])
+            if o not in reads:
+                reads[o] = 0
+                order.append(o)
+            reads[o] += 1
+        if category_of(op) != CATEGORY_LSDIR:
+            # the target entry itself (depth = dir depth + 1)
+            if not fs.cache_covers_depth(tree.depth(dir_ino) + 1):
+                if primary not in reads:
+                    reads[primary] = 0
+                    order.append(primary)
+                reads[primary] += 1
+        if primary not in reads:
+            reads[primary] = 0
+            order.append(primary)
+        return [(o, reads[o]) for o in order], primary
+
+    # ------------------------------------------------------------ execution
+    def execute_op(self, i: int) -> Generator:
+        """Execute trace operation ``i``; returns the observed latency (ms)."""
+        fs = self.fs
+        env = fs.env
+        params = fs.params
+        trace = fs.trace
+        op = int(trace.op[i])
+        dir_ino = int(trace.dir_ino[i])
+        aux = int(trace.aux[i])
+        name = trace.names[i] if trace.names is not None else ""
+        if not fs.tree.is_alive(dir_ino) or not fs.tree.is_dir(dir_ino):
+            # the directory vanished under a concurrent mutation; count the
+            # op as a cheap failed lookup at whatever server owns the parent
+            fs.failed_ops += 1
+            return 0.0
+        cat = category_of(op)
+        start = env.now
+
+        visits, primary = self._plan(op, dir_ino)
+        pserver = fs.servers[primary]
+        pserver.count_request()
+
+        for mds, n_reads in visits:
+            server = fs.servers[mds]
+            server.count_rpc()
+            fs.total_rpcs += 1
+            # network round trip to this MDS
+            yield env.timeout(fs.network_rtt())
+            # +1 fake/anchor inode read, plus the RPC handling cost itself
+            service = params.t_inode * (n_reads + 1) + params.t_rpc
+            if mds == primary:
+                service += params.t_exec(op)
+            yield from server.service(service)
+
+        # ---- op-specific extras ----
+        if cat == CATEGORY_LSDIR:
+            others = sorted(fs.pmap.lsdir_owners(dir_ino))
+            for o in others:
+                fs.servers[o].count_rpc()
+                fs.total_rpcs += 1
+                yield env.timeout(fs.network_rtt())
+                yield from fs.servers[o].service(params.t_rpc)
+            fs.stats.record_lsdir(dir_ino)
+        elif cat == CATEGORY_NSMUT:
+            # lease consistency: mutating a leased directory recalls the lease
+            recall = fs.cache.recall_if_leased(dir_ino, env.now)
+            if recall > 0:
+                yield from pserver.service(recall)
+            split_partner = self._split_partner(op, dir_ino, name, aux)
+            if split_partner is not None:
+                fs.servers[split_partner].count_rpc()
+                fs.total_rpcs += 1
+                yield from pserver.service(params.t_coor)
+            self._apply_mutation(op, dir_ino, name, aux)
+            fs.stats.record_write(dir_ino)
+        else:
+            if fs.use_kvstore:
+                pserver.kv_get(b"%020d/%s" % (dir_ino, name.encode()))
+            fs.stats.record_read(dir_ino)
+
+        self.ops_done += 1
+        fs.ops_completed += 1
+        fs.last_completion_ms = env.now
+        return env.now - start
+
+    def _split_partner(self, op: int, dir_ino: int, name: str, aux: int) -> Optional[int]:
+        """The other MDS of a split namespace mutation, if any (Eq. 2 ns-m)."""
+        fs = self.fs
+        owner_arr = fs.pmap.owner_array()
+        primary = int(owner_arr[dir_ino])
+        if op == int(OpType.MKDIR):
+            o = fs.pmap.new_dir_owner(dir_ino, name)
+            return o if o != primary else None
+        if op in (int(OpType.RMDIR), int(OpType.RENAME)) and aux >= 0:
+            if fs.tree.is_alive(aux) and owner_arr[aux] >= 0:
+                o = int(owner_arr[aux])
+                return o if o != primary else None
+        if op in (int(OpType.CREATE), int(OpType.UNLINK)) or (
+            op == int(OpType.RENAME) and aux < 0
+        ):
+            o = fs.pmap.file_owner(dir_ino, name)
+            return o if o != primary else None
+        return None
+
+    def _apply_mutation(self, op: int, dir_ino: int, name: str, aux: int) -> None:
+        """Materialise the namespace mutation (best effort under races)."""
+        fs = self.fs
+        tree = fs.tree
+        try:
+            if op == int(OpType.CREATE):
+                ino = tree.create_file(dir_ino, name)
+                if fs.use_kvstore:
+                    fs.servers[fs.pmap.owner(dir_ino)].kv_put(
+                        b"%020d/%s" % (dir_ino, name.encode()), b"inode"
+                    )
+                fs.created_files.append(ino)
+            elif op == int(OpType.UNLINK):
+                kids = tree.children(dir_ino)
+                ino = kids.get(name)
+                if ino is not None and not tree.is_dir(ino):
+                    tree.remove(ino)
+                    if fs.use_kvstore:
+                        fs.servers[fs.pmap.owner(dir_ino)].kv_delete(
+                            b"%020d/%s" % (dir_ino, name.encode())
+                        )
+            elif op == int(OpType.MKDIR):
+                tree.create_dir(dir_ino, name)
+            elif op == int(OpType.RMDIR):
+                if aux >= 0 and tree.is_alive(aux) and tree.is_dir(aux):
+                    if not tree.children(aux):
+                        tree.remove(aux)
+            # RENAME: cost-only (the traces rename entries in place)
+        except (FileExistsError, OSError, KeyError, NotADirectoryError, ValueError):
+            # concurrent replay can race mutations; semantics stay best-effort
+            fs.failed_ops += 1
+
+    # ----------------------------------------------------------------- loop
+    def run(self) -> Generator:
+        """Closed-loop replay until the shared trace is exhausted."""
+        fs = self.fs
+        while True:
+            i = fs.next_op_index()
+            if i is None:
+                return
+            latency = yield from self.execute_op(i)
+            fs.latency.record(latency)
+            if fs.datapath is not None and fs.trace.op[i] in fs.DATA_OPS:
+                yield from fs.datapath.transfer(fs, int(fs.trace.dir_ino[i]))

@@ -1,0 +1,68 @@
+"""Fault injection: transient MDS slowdowns during a run.
+
+Real clusters do not run at uniform speed — compaction stalls, noisy
+neighbours, and partial failures slow individual MDSs.  A balancer that only
+understands *load* cannot tell an overloaded server from a degraded one; a
+balancer driven by busy time (Origami, Lunule) routes work away from both.
+
+:class:`SlowdownInjector` multiplies one MDS's service times by a factor for
+a window of virtual time, by wrapping the server's ``service`` generator.
+Used by the failure-injection tests and the resilience example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+__all__ = ["Slowdown", "SlowdownInjector"]
+
+
+@dataclass(frozen=True)
+class Slowdown:
+    """Degrade ``mds`` by ``factor``× between ``start_ms`` and ``end_ms``."""
+
+    mds: int
+    start_ms: float
+    end_ms: float
+    factor: float
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (a slowdown)")
+        if self.end_ms <= self.start_ms:
+            raise ValueError("end must come after start")
+
+
+class SlowdownInjector:
+    """Installs service-time degradation on an OrigamiFS instance."""
+
+    def __init__(self, fs, slowdowns: List[Slowdown]):
+        self.fs = fs
+        self.slowdowns = list(slowdowns)
+        for s in self.slowdowns:
+            if not 0 <= s.mds < len(fs.servers):
+                raise ValueError(f"slowdown targets unknown MDS {s.mds}")
+        self._install()
+
+    def factor_for(self, mds: int, now: float) -> float:
+        f = 1.0
+        for s in self.slowdowns:
+            if s.mds == mds and s.start_ms <= now < s.end_ms:
+                f = max(f, s.factor)
+        return f
+
+    def _install(self) -> None:
+        fs = self.fs
+        injector = self
+
+        for server in fs.servers:
+            original = server.service
+
+            def degraded(
+                duration_ms: float, _orig=original, _srv=server
+            ) -> Generator:
+                factor = injector.factor_for(_srv.mds_id, fs.env.now)
+                yield from _orig(duration_ms * factor)
+
+            server.service = degraded  # type: ignore[method-assign]

@@ -1,0 +1,226 @@
+"""OrigamiFS assembly: configuration, the cluster object, and ``run_simulation``.
+
+A run wires together: the namespace tree, a trace, a balancing policy, the
+MDS servers, client workers, the near-root cache, the Data Collector
+(:class:`~repro.namespace.stats.AccessStats`), the Migrator, and the epoch
+driver — then advances virtual time until the trace is fully replayed.
+
+Time scale: epochs default to 250 ms of virtual time.  The paper uses 10 s
+epochs against a ~20k ops/s cluster; the cost model's absolute scale makes a
+250 ms epoch carry a few thousand operations, preserving the
+ops-per-epoch ratio the balancer reacts to while keeping runs fast (the
+compression is documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.balancers.base import BalancePolicy
+from repro.costmodel.optypes import OpType
+from repro.costmodel.params import CostParams
+from repro.fs.cache import LeaseCache, NearRootCache
+from repro.fs.client import ClientWorker
+from repro.fs.datapath import DataCluster
+from repro.fs.driver import EpochDriver
+from repro.fs.metrics import LatencyRecorder, SimResult
+from repro.fs.migrator import Migrator
+from repro.fs.server import MdsServer
+from repro.namespace.stats import AccessStats
+from repro.namespace.tree import NamespaceTree
+from repro.sim import Environment, SeedSequenceFactory
+from repro.workloads.trace import Trace
+
+__all__ = ["SimConfig", "OrigamiFS", "run_simulation"]
+
+
+@dataclass
+class SimConfig:
+    """Knobs for one simulation run (defaults = the paper's §5.1 setup)."""
+
+    n_mds: int = 5
+    n_clients: int = 50
+    epoch_ms: float = 250.0
+    params: CostParams = field(default_factory=lambda: CostParams(cache_depth=3))
+    seed: int = 0
+    #: store inodes in per-MDS LSM stores and move them on migration
+    use_kvstore: bool = False
+    migration_cost_per_inode_ms: float = 0.002
+    service_concurrency: int = 1
+    #: lognormal-ish RTT jitter fraction (0 = deterministic network)
+    rtt_jitter: float = 0.0
+    #: client cache design: "near-root" (the paper's, driven by
+    #: params.cache_depth), "lease" (full TTL-lease cache — the alternative
+    #: the paper rejects; DES-only), or "none"
+    cache_mode: str = "near-root"
+    lease_ttl_ms: float = 50.0
+    lease_recall_cost_ms: float = 0.05
+    #: how many upcoming ops the oracle policy may see
+    oracle_window_ops: int = 5000
+    #: attach a data cluster (kwargs for DataCluster) for end-to-end runs
+    datapath: Optional[Dict] = None
+
+    def __post_init__(self):
+        if self.n_mds < 1 or self.n_clients < 1:
+            raise ValueError("need at least one MDS and one client")
+        if self.epoch_ms <= 0:
+            raise ValueError("epoch_ms must be positive")
+        if self.cache_mode not in ("near-root", "lease", "none"):
+            raise ValueError(f"unknown cache_mode {self.cache_mode!r}")
+
+
+class OrigamiFS:
+    """A live simulated metadata cluster."""
+
+    #: ops that touch file bodies when the data path is on
+    DATA_OPS = frozenset({int(OpType.OPEN), int(OpType.CREATE)})
+
+    def __init__(
+        self,
+        tree: NamespaceTree,
+        trace: Trace,
+        policy: BalancePolicy,
+        config: Optional[SimConfig] = None,
+    ):
+        self.config = config or SimConfig()
+        self.tree = tree
+        self.trace = trace
+        self.policy = policy
+        self.params = self.config.params
+        self.env = Environment()
+        ssf = SeedSequenceFactory(self.config.seed)
+        self.rng = ssf.stream("fs")
+        self._net_rng = ssf.stream("network")
+
+        self.pmap = policy.setup(tree, self.config.n_mds, ssf.stream("policy"))
+        self.use_kvstore = self.config.use_kvstore
+        self.servers = [
+            MdsServer(
+                self.env,
+                i,
+                service_concurrency=self.config.service_concurrency,
+                use_kvstore=self.use_kvstore,
+            )
+            for i in range(self.config.n_mds)
+        ]
+        if self.use_kvstore:
+            self._populate_stores()
+        if self.config.cache_mode == "lease":
+            self.cache = LeaseCache(
+                tree,
+                ttl_ms=self.config.lease_ttl_ms,
+                recall_cost_ms=self.config.lease_recall_cost_ms,
+            )
+        elif self.config.cache_mode == "none":
+            self.cache = NearRootCache(tree, 0)
+        else:
+            self.cache = NearRootCache(tree, self.params.cache_depth)
+        self.stats = AccessStats(tree)
+        self.migrator = Migrator(self, self.config.migration_cost_per_inode_ms)
+        self.latency = LatencyRecorder(seed=self.config.seed)
+        self.datapath = (
+            DataCluster(self.env, **self.config.datapath)
+            if self.config.datapath is not None
+            else None
+        )
+
+        self.cursor = 0
+        self.replay_done = len(trace) == 0
+        self.ops_completed = 0
+        self.failed_ops = 0
+        self.total_rpcs = 0
+        self.stale_decisions = 0
+        self.data_ops_completed = 0
+        #: virtual time of the most recent completed operation (run duration)
+        self.last_completion_ms = 0.0
+        self.created_files: List[int] = []
+        self.epochs: List = []
+
+    # -------------------------------------------------------------- plumbing
+    def _populate_stores(self) -> None:
+        owner_arr = self.pmap.owner_array()
+        tree = self.tree
+        for d in tree.iter_dirs():
+            o = int(owner_arr[d])
+            store = self.servers[o]
+            for name, child in tree.children(d).items():
+                store.kv_put(b"%020d/%s" % (d, name.encode()), b"inode")
+
+    def next_op_index(self) -> Optional[int]:
+        if self.cursor >= len(self.trace):
+            self.replay_done = True
+            return None
+        i = self.cursor
+        self.cursor += 1
+        return i
+
+    def upcoming(self, n: int) -> Trace:
+        """The next ``n`` not-yet-issued operations (oracle's view)."""
+        return self.trace[self.cursor : self.cursor + n]
+
+    def network_rtt(self) -> float:
+        rtt = self.params.rtt
+        if self.config.rtt_jitter > 0:
+            rtt *= 1.0 + self.config.rtt_jitter * float(self._net_rng.exponential(1.0))
+        return rtt
+
+    def cache_covers_depth(self, depth: int) -> bool:
+        """Near-root coverage of the *target entry* (files are never leased)."""
+        if self.config.cache_mode != "near-root":
+            return False
+        return 0 < self.params.cache_depth and depth < self.params.cache_depth
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimResult:
+        driver = EpochDriver(self, self.policy, self.config.oracle_window_ops)
+        clients = [
+            self.env.process(ClientWorker(self, w).run())
+            for w in range(self.config.n_clients)
+        ]
+        driver_proc = self.env.process(driver.run())
+
+        def terminator():
+            # when the last client drains, cancel the driver's pending epoch
+            # timeout so virtual time stops at the last completed operation
+            yield self.env.all_of(clients)
+            if driver_proc.is_alive:
+                driver_proc.interrupt("replay-complete")
+
+        self.env.process(terminator())
+        self.env.run()
+        # duration = when the last operation completed (the driver's cancelled
+        # epoch timeout may have dragged env.now further; ignore it)
+        duration = self.last_completion_ms
+        if any(s.epoch_busy_ms > 0 or s.epoch_qps > 0 for s in self.servers):
+            driver.flush_epoch()
+        return SimResult(
+            strategy=self.policy.name,
+            n_mds=self.config.n_mds,
+            epoch_ms=self.config.epoch_ms,
+            ops_completed=self.ops_completed,
+            duration_ms=duration,
+            mean_latency_ms=self.latency.mean,
+            p50_latency_ms=self.latency.percentile(50),
+            p99_latency_ms=self.latency.percentile(99),
+            total_rpcs=self.total_rpcs,
+            per_epoch=self.epochs,
+            migrations=self.migrator.log.total_migrations,
+            inodes_migrated=self.migrator.log.total_inodes_moved,
+            failed_ops=self.failed_ops,
+            cache_hit_rate=self.cache.hit_rate,
+            data_ops_completed=self.data_ops_completed,
+            engine_events=self.env.events_processed,
+        )
+
+
+def run_simulation(
+    tree: NamespaceTree,
+    trace: Trace,
+    policy: BalancePolicy,
+    config: Optional[SimConfig] = None,
+) -> SimResult:
+    """Build an OrigamiFS cluster, replay ``trace`` under ``policy``, return metrics."""
+    return OrigamiFS(tree, trace, policy, config).run()

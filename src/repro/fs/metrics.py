@@ -1,0 +1,173 @@
+"""Measurement plumbing for the DES: per-epoch and whole-run metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.imbalance import ImbalanceReport
+
+__all__ = ["EpochMetrics", "SimResult", "LatencyRecorder"]
+
+
+@dataclass
+class EpochMetrics:
+    """What each MDS did during one epoch (Fig. 6 and Fig. 7 inputs)."""
+
+    epoch: int
+    #: actual virtual duration of the epoch (>= the nominal epoch_ms when
+    #: migrations stretched it; the Migrator runs inside the driver loop)
+    duration_ms: float
+    #: virtual ms each MDS spent servicing metadata work this epoch
+    busy_ms: np.ndarray
+    #: requests whose primary MDS was this MDS
+    qps: np.ndarray
+    #: RPC messages handled (resolution hops, gathers, forwards)
+    rpcs: np.ndarray
+    #: metadata entries stored per MDS at the epoch boundary
+    inodes: np.ndarray
+    #: migrations applied at this epoch boundary
+    migrations: int = 0
+
+
+class LatencyRecorder:
+    """Streaming latency statistics without keeping every sample.
+
+    Keeps a bounded reservoir for percentiles plus exact count/mean.
+    """
+
+    def __init__(self, reservoir: int = 20000, seed: int = 0):
+        self._res = np.empty(reservoir, dtype=np.float64)
+        self._cap = reservoir
+        self.count = 0
+        self.total = 0.0
+        self._rng = np.random.default_rng(seed)
+
+    def record(self, latency_ms: float) -> None:
+        if self.count < self._cap:
+            self._res[self.count] = latency_ms
+        else:
+            j = int(self._rng.integers(0, self.count + 1))
+            if j < self._cap:
+                self._res[j] = latency_ms
+        self.count += 1
+        self.total += latency_ms
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        n = min(self.count, self._cap)
+        if n == 0:
+            return 0.0
+        return float(np.percentile(self._res[:n], q))
+
+
+@dataclass
+class SimResult:
+    """Everything a run of :func:`repro.fs.filesystem.run_simulation` yields."""
+
+    strategy: str
+    n_mds: int
+    #: epoch length used by the run (ms); needed for per-epoch rates
+    epoch_ms: float
+    #: metadata operations completed
+    ops_completed: int
+    #: virtual milliseconds the run covered
+    duration_ms: float
+    #: client-observed mean metadata latency (ms)
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    #: total RPC messages sent / per completed request
+    total_rpcs: int
+    per_epoch: List[EpochMetrics] = field(default_factory=list)
+    #: total migrations and inodes moved
+    migrations: int = 0
+    inodes_migrated: int = 0
+    #: operations that failed best-effort semantics (races during replay)
+    failed_ops: int = 0
+    cache_hit_rate: float = 0.0
+    #: end-to-end file throughput when the data path is active (ops/s)
+    data_ops_completed: int = 0
+    #: events processed by the DES kernel (diagnostics)
+    engine_events: int = 0
+
+    @property
+    def throughput_ops_per_sec(self) -> float:
+        """Aggregated metadata throughput over the whole run (ops / virtual s)."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.ops_completed / (self.duration_ms / 1000.0)
+
+    @property
+    def end_to_end_throughput(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.data_ops_completed / (self.duration_ms / 1000.0)
+
+    @property
+    def rpcs_per_request(self) -> float:
+        return self.total_rpcs / self.ops_completed if self.ops_completed else 0.0
+
+    def steady_state_throughput(self, skip_fraction: float = 0.3) -> float:
+        """Aggregated metadata throughput *post-rebalancing* (ops / virtual s).
+
+        The paper measures average throughput after the balancing mechanism
+        has acted (§5.2); the first ``skip_fraction`` of epochs (the
+        all-on-MDS-0 warmup for subtree strategies) is excluded.  The last
+        (possibly partial) epoch is excluded too.
+        """
+        if len(self.per_epoch) <= 2:
+            return self.throughput_ops_per_sec
+        full = self.per_epoch[:-1]  # drop the trailing partial epoch
+        skip = min(int(len(full) * skip_fraction), len(full) - 1)
+        tail = full[skip:]
+        ops = sum(float(e.qps.sum()) for e in tail)
+        span_ms = sum(e.duration_ms for e in tail)
+        if span_ms <= 0:
+            return 0.0
+        return ops / (span_ms / 1000.0)
+
+    # ------------------------------------------------------- aggregate views
+    def _stack(self, attr: str) -> np.ndarray:
+        if not self.per_epoch:
+            return np.zeros((0, self.n_mds))
+        return np.stack([getattr(e, attr) for e in self.per_epoch])
+
+    def total_busy_per_mds(self) -> np.ndarray:
+        return self._stack("busy_ms").sum(axis=0)
+
+    def total_qps_per_mds(self) -> np.ndarray:
+        return self._stack("qps").sum(axis=0)
+
+    def total_rpcs_per_mds(self) -> np.ndarray:
+        return self._stack("rpcs").sum(axis=0)
+
+    def final_inodes_per_mds(self) -> np.ndarray:
+        if not self.per_epoch:
+            return np.zeros(self.n_mds)
+        return self.per_epoch[-1].inodes
+
+    def imbalance(self) -> ImbalanceReport:
+        """Fig. 6's four imbalance factors, aggregated over the run."""
+        return ImbalanceReport.from_loads(
+            qps=self.total_qps_per_mds(),
+            rpcs=self.total_rpcs_per_mds(),
+            inodes=self.final_inodes_per_mds(),
+            busytime=self.total_busy_per_mds(),
+        )
+
+    def efficiency_series(self) -> np.ndarray:
+        """Fig. 7's efficiency: mean fraction of each epoch MDSs spent busy."""
+        if not self.per_epoch:
+            return np.zeros(0)
+        return np.array(
+            [
+                float(e.busy_ms.mean()) / e.duration_ms if e.duration_ms > 0 else 0.0
+                for e in self.per_epoch
+            ]
+        )

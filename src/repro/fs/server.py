@@ -1,0 +1,81 @@
+"""MDS server process: FIFO service queue + local inode store + accounting.
+
+Each MDS is a single-server queue (capacity 1 — one metadata thread, the
+saturation regime of §5.2); queueing delay is emergent, which is what makes
+the DES results exhibit Eq. (1)'s ``Q_i`` term without modelling it.
+
+Busy time, RPC counts, and request counts accumulate per epoch and are
+drained by the epoch driver into :class:`~repro.fs.metrics.EpochMetrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.kvstore import LSMStore
+from repro.sim import Environment, Resource
+
+__all__ = ["MdsServer"]
+
+
+class MdsServer:
+    """One metadata server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        mds_id: int,
+        service_concurrency: int = 1,
+        use_kvstore: bool = False,
+    ):
+        self.env = env
+        self.mds_id = mds_id
+        self.resource = Resource(env, capacity=service_concurrency)
+        self.store: Optional[LSMStore] = LSMStore(memtable_limit=512) if use_kvstore else None
+        # epoch-scoped counters (drained by the driver)
+        self.epoch_busy_ms = 0.0
+        self.epoch_rpcs = 0
+        self.epoch_qps = 0
+        # run-scoped totals
+        self.total_busy_ms = 0.0
+        self.total_rpcs = 0
+
+    def count_rpc(self, n: int = 1) -> None:
+        self.epoch_rpcs += n
+        self.total_rpcs += n
+
+    def count_request(self) -> None:
+        self.epoch_qps += 1
+
+    def service(self, duration_ms: float) -> Generator:
+        """Queue for the server thread, hold it for ``duration_ms``."""
+        with self.resource.request() as req:
+            yield req
+            if duration_ms > 0:
+                yield self.env.timeout(duration_ms)
+            self.epoch_busy_ms += duration_ms
+            self.total_busy_ms += duration_ms
+
+    def drain_epoch(self) -> tuple:
+        """Return and reset this epoch's (busy, rpcs, qps)."""
+        out = (self.epoch_busy_ms, self.epoch_rpcs, self.epoch_qps)
+        self.epoch_busy_ms = 0.0
+        self.epoch_rpcs = 0
+        self.epoch_qps = 0
+        return out
+
+    # ------------------------------------------------------------- kv store
+    def kv_put(self, key: bytes, value: bytes) -> None:
+        if self.store is not None:
+            self.store.put(key, value)
+
+    def kv_delete(self, key: bytes) -> None:
+        if self.store is not None:
+            self.store.delete(key)
+
+    def kv_get(self, key: bytes) -> Optional[bytes]:
+        if self.store is not None:
+            return self.store.get(key)
+        return None

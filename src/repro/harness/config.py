@@ -1,0 +1,53 @@
+"""Experiment sizing and shared defaults.
+
+One knob (``REPRO_SCALE`` or an explicit :class:`ExperimentScale`) scales
+every experiment: ``smoke`` for CI, ``default`` for interactive runs,
+``full`` for paper-closest durations.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.costmodel.params import CostParams
+
+__all__ = ["ExperimentScale", "get_scale", "SCALES", "default_params"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    name: str
+    #: operations in each measured trace
+    n_ops: int
+    #: operations in the training trace (Origami's model)
+    train_ops: int
+    #: ops per training epoch window
+    train_epoch_ops: int
+    #: GBDT boosting rounds for the production model
+    gbdt_rounds: int
+    #: client threads for saturation runs
+    n_clients: int
+    #: virtual epoch length (ms)
+    epoch_ms: float
+
+
+SCALES = {
+    "smoke": ExperimentScale("smoke", 15_000, 12_000, 2_000, 30, 120, 60.0),
+    "default": ExperimentScale("default", 60_000, 40_000, 4_000, 80, 300, 100.0),
+    "full": ExperimentScale("full", 200_000, 80_000, 5_000, 400, 400, 100.0),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve the experiment scale (argument beats ``$REPRO_SCALE`` beats default)."""
+    key = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[key]
+    except KeyError:
+        raise ValueError(f"unknown scale {key!r}; choose from {sorted(SCALES)}") from None
+
+
+def default_params(cache_depth: int = 2) -> CostParams:
+    """The cluster cost parameters used across experiments (§5.1 setup)."""
+    return CostParams(cache_depth=cache_depth)

@@ -1,0 +1,83 @@
+"""Plain-text reporting: aligned tables and labelled series.
+
+Every experiment prints through these helpers so benchmark output reads as
+rows directly comparable to the paper's figures, and results can also be
+dumped as JSON for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "Report"]
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """A named experiment result: tables, series, and raw values."""
+
+    experiment: str
+    description: str = ""
+    tables: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def add_table(
+        self, headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+    ) -> None:
+        self.tables.append(format_table(headers, rows, title))
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        self.data[name] = [float(v) for v in values]
+
+    def put(self, key: str, value: Any) -> None:
+        self.data[key] = value
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment} ==="]
+        if self.description:
+            parts.append(self.description)
+        parts.extend(self.tables)
+        return "\n\n".join(parts)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"experiment": self.experiment, "description": self.description, "data": self.data},
+            indent=2,
+            default=lambda o: getattr(o, "tolist", lambda: str(o))(),
+        )
+
+    def __str__(self) -> str:
+        return self.render()

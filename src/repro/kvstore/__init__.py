@@ -1,0 +1,21 @@
+"""A from-scratch LSM-tree key-value store (local MDS inode store).
+
+OrigamiFS stores each MDS's inodes in PebblesDB, a fragmented-LSM key-value
+store, keyed by ``(parent inode number, file name)``.  This package supplies
+the equivalent substrate: an in-memory LSM with a sorted memtable, immutable
+SSTable runs, size-tiered compaction with PebblesDB-style *guards* (runs are
+only merged within guard boundaries, trading read fan-out for write
+amplification — the FLSM idea), tombstone deletes, and range scans (used by
+``lsdir`` and by the Migrator to extract a subtree's records).
+
+The store is deliberately synchronous — the DES layer charges virtual time
+for operations using the cost model; this package provides correct semantics
+plus operation *counts* (seeks, merges, bytes) so storage effects stay
+observable.
+"""
+
+from repro.kvstore.lsm import LSMStore, StoreStats
+from repro.kvstore.memtable import MemTable
+from repro.kvstore.sstable import SSTable
+
+__all__ = ["LSMStore", "StoreStats", "MemTable", "SSTable"]

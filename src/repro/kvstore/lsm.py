@@ -1,0 +1,235 @@
+"""The LSM store proper: memtable + guarded levels of SSTables.
+
+PebblesDB's key idea (FLSM) is to partition each level by *guards* and allow
+multiple overlapping runs within a guard, so compaction never rewrites data
+across guard boundaries; this cuts write amplification at the price of a
+bounded extra read fan-out inside one guard.  This implementation keeps that
+structure:
+
+* level 0: raw memtable flushes (may overlap arbitrarily);
+* levels >= 1: guard-partitioned; each guard holds up to ``runs_per_guard``
+  runs; when exceeded, the guard's runs merge into one and spill to the same
+  guard one level down.
+
+Statistics (:class:`StoreStats`) count seeks, run probes, merges, and bytes
+rewritten so benchmarks can report read/write amplification.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.sstable import SSTable, merge_runs
+
+__all__ = ["LSMStore", "StoreStats"]
+
+
+@dataclass
+class StoreStats:
+    """Operation counters for amplification analysis."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    scans: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    runs_probed: int = 0
+    bytes_flushed: int = 0
+    bytes_compacted: int = 0
+
+    def read_amplification(self) -> float:
+        """Average runs probed per get."""
+        return self.runs_probed / self.gets if self.gets else 0.0
+
+    def write_amplification(self) -> float:
+        """Bytes rewritten by compaction per byte flushed."""
+        return (
+            (self.bytes_flushed + self.bytes_compacted) / self.bytes_flushed
+            if self.bytes_flushed
+            else 0.0
+        )
+
+
+class _Guard:
+    """A key-range bucket within a level holding overlapping runs (newest first)."""
+
+    __slots__ = ("lo", "runs")
+
+    def __init__(self, lo: bytes):
+        self.lo = lo
+        self.runs: List[SSTable] = []
+
+
+class LSMStore:
+    """Guarded LSM store with point get/put/delete and ordered range scans."""
+
+    def __init__(
+        self,
+        memtable_limit: int = 256,
+        runs_per_guard: int = 3,
+        level0_limit: int = 4,
+        guard_fanout: int = 8,
+        max_levels: int = 6,
+    ):
+        if memtable_limit < 1:
+            raise ValueError("memtable_limit must be >= 1")
+        self.memtable_limit = memtable_limit
+        self.runs_per_guard = runs_per_guard
+        self.level0_limit = level0_limit
+        self.guard_fanout = guard_fanout
+        self.max_levels = max_levels
+        self.mem = MemTable()
+        self.level0: List[SSTable] = []  # newest first
+        # levels[i] for i>=1: sorted list of guards by lo key
+        self.levels: List[List[_Guard]] = [[] for _ in range(max_levels)]
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------- write path
+    def put(self, key: bytes, value: bytes) -> None:
+        self.stats.puts += 1
+        self.mem.put(key, value)
+        if len(self.mem) >= self.memtable_limit:
+            self._flush()
+
+    def delete(self, key: bytes) -> None:
+        self.stats.deletes += 1
+        self.mem.delete(key)
+        if len(self.mem) >= self.memtable_limit:
+            self._flush()
+
+    def _flush(self) -> None:
+        entries = self.mem.items_sorted()
+        if not entries:
+            return
+        run = SSTable(entries)
+        self.level0.insert(0, run)
+        self.stats.flushes += 1
+        self.stats.bytes_flushed += run.size_bytes
+        self.mem.clear()
+        if len(self.level0) > self.level0_limit:
+            self._compact_level0()
+
+    def flush(self) -> None:
+        """Force the memtable down into level 0 (checkpoint/migration prep)."""
+        self._flush()
+
+    # -------------------------------------------------------------- compaction
+    def _guards_for(self, level: int, keys: List[bytes]) -> None:
+        """Create guards at ``level`` if absent, seeded by key-space samples."""
+        if self.levels[level]:
+            return
+        # choose up to guard_fanout guard boundaries from the incoming keys
+        n = min(self.guard_fanout, max(1, len(keys)))
+        step = max(1, len(keys) // n)
+        los = sorted({keys[i] for i in range(0, len(keys), step)})
+        los[0] = b""  # first guard catches everything from the left
+        self.levels[level] = [_Guard(lo) for lo in los]
+
+    def _guard_index(self, level: int, key: bytes) -> int:
+        guards = self.levels[level]
+        los = [g.lo for g in guards]
+        return max(0, bisect.bisect_right(los, key) - 1)
+
+    def _compact_level0(self) -> None:
+        """Merge all level-0 runs and partition the result into level-1 guards."""
+        self.stats.compactions += 1
+        runs = self.level0
+        self.level0 = []
+        merged = merge_runs(runs, drop_tombstones=False)
+        if not merged:
+            return
+        self.stats.bytes_compacted += sum(len(k) + len(v) for k, v in merged)
+        self._guards_for(1, [k for k, _ in merged])
+        self._push_into_level(1, merged)
+
+    def _push_into_level(self, level: int, entries: List[Tuple[bytes, bytes]]) -> None:
+        guards = self.levels[level]
+        if not guards:
+            self._guards_for(level, [k for k, _ in entries])
+            guards = self.levels[level]
+        # split entries by guard
+        buckets: Dict[int, List[Tuple[bytes, bytes]]] = {}
+        for k, v in entries:
+            buckets.setdefault(self._guard_index(level, k), []).append((k, v))
+        for gi, bucket in buckets.items():
+            guard = guards[gi]
+            guard.runs.insert(0, SSTable(bucket))
+            if len(guard.runs) > self.runs_per_guard:
+                self._compact_guard(level, guard)
+
+    def _compact_guard(self, level: int, guard: _Guard) -> None:
+        """Merge a guard's runs; spill the result one level down (or rewrite in
+        place at the bottom, dropping tombstones)."""
+        self.stats.compactions += 1
+        at_bottom = level >= self.max_levels - 1
+        merged = merge_runs(guard.runs, drop_tombstones=at_bottom)
+        self.stats.bytes_compacted += sum(len(k) + len(v) for k, v in merged)
+        guard.runs = []
+        if not merged:
+            return
+        if at_bottom:
+            guard.runs = [SSTable(merged)]
+        else:
+            self._push_into_level(level + 1, merged)
+
+    # --------------------------------------------------------------- read path
+    def get(self, key: bytes) -> Optional[bytes]:
+        self.stats.gets += 1
+        v = self.mem.get(key)
+        if v is not None:
+            return None if v == TOMBSTONE else v
+        for run in self.level0:
+            self.stats.runs_probed += 1
+            v = run.get(key)
+            if v is not None:
+                return None if v == TOMBSTONE else v
+        for level in range(1, self.max_levels):
+            guards = self.levels[level]
+            if not guards:
+                continue
+            guard = guards[self._guard_index(level, key)]
+            for run in guard.runs:
+                self.stats.runs_probed += 1
+                v = run.get(key)
+                if v is not None:
+                    return None if v == TOMBSTONE else v
+        return None
+
+    def contains(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def scan(self, lo: bytes, hi: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Ordered scan of live entries with key in [lo, hi)."""
+        self.stats.scans += 1
+        # gather candidate entries newest-first so shadowing is easy
+        shadow: Dict[bytes, bytes] = {}
+        sources: List[Iterator[Tuple[bytes, bytes]]] = [self.mem.scan(lo, hi)]
+        sources.extend(r.scan(lo, hi) for r in self.level0 if r.overlaps(lo, hi))
+        for level in range(1, self.max_levels):
+            for guard in self.levels[level]:
+                for run in guard.runs:
+                    if run.overlaps(lo, hi):
+                        sources.append(run.scan(lo, hi))
+        for src in sources:  # newest source first wins
+            for k, v in src:
+                if k not in shadow:
+                    shadow[k] = v
+        for k in sorted(shadow):
+            if shadow[k] != TOMBSTONE:
+                yield k, shadow[k]
+
+    # ---------------------------------------------------------------- metrics
+    def __len__(self) -> int:
+        """Number of live keys (O(n) — debugging/tests only)."""
+        return sum(1 for _ in self.scan(b"", b"\xff" * 64))
+
+    def run_count(self) -> int:
+        n = len(self.level0)
+        for level in range(1, self.max_levels):
+            for guard in self.levels[level]:
+                n += len(guard.runs)
+        return n

@@ -1,0 +1,36 @@
+"""From-scratch ML stack (no lightgbm/sklearn/torch available offline).
+
+Implements the three model families the paper compares (§4.3):
+
+* :class:`~repro.ml.gbdt.GBDTRegressor` — histogram-based gradient-boosted
+  regression trees.  ``growth="leaf"`` gives LightGBM-style best-first
+  leaf-wise growth (the paper's production pick: 400 rounds, 32 leaves);
+  ``growth="level"`` gives classic depth-wise GBDT.
+* :class:`~repro.ml.mlp.MLPRegressor` — a NumPy multi-layer perceptron with
+  4 hidden layers and Adam, matching the paper's MLP baseline.
+* :class:`~repro.ml.linear.RidgeRegressor` — closed-form ridge baseline for
+  sanity comparisons.
+
+Plus the Table-1 feature pipeline (:mod:`~repro.ml.dataset`), split-gain
+("Gini") importances (:mod:`~repro.ml.importance` via the GBDT), and
+regression metrics (:mod:`~repro.ml.metrics`).
+"""
+
+from repro.ml.dataset import FEATURE_NAMES, FeatureExtractor, TrainingSet
+from repro.ml.gbdt import GBDTRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import mean_absolute_error, r2_score, rmse, spearman_rank_correlation
+from repro.ml.mlp import MLPRegressor
+
+__all__ = [
+    "FeatureExtractor",
+    "TrainingSet",
+    "FEATURE_NAMES",
+    "GBDTRegressor",
+    "MLPRegressor",
+    "RidgeRegressor",
+    "rmse",
+    "mean_absolute_error",
+    "r2_score",
+    "spearman_rank_correlation",
+]

@@ -1,0 +1,40 @@
+"""Closed-form ridge regression (sanity baseline for the model comparison)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RidgeRegressor"]
+
+
+class RidgeRegressor:
+    """``argmin ||Xw - y||^2 + alpha ||w||^2`` with intercept, solved exactly."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValueError("X must be (n, f) with matching non-empty y")
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        f = X.shape[1]
+        A = Xc.T @ Xc + self.alpha * np.eye(f)
+        self.coef_ = np.linalg.solve(A, Xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model not fitted")
+        return np.asarray(X, dtype=np.float64) @ self.coef_ + self.intercept_

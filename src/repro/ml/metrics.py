@@ -1,0 +1,81 @@
+"""Regression metrics for model comparison and validation.
+
+Spearman rank correlation matters more than RMSE here: §4.3 observes that
+all three models produce near-identical *migration decisions* despite
+accuracy differences, because Meta-OPT only needs the high-benefit subtrees
+ranked first — a rank metric captures that property directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "mean_absolute_error", "r2_score", "spearman_rank_correlation", "top_k_overlap"]
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1 or y_true.size == 0:
+        raise ValueError("y_true and y_pred must be equal-length non-empty vectors")
+    return y_true, y_pred
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _rank(x: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their positions)."""
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, x.size + 1)
+    # average tied groups
+    sorted_x = x[order]
+    i = 0
+    while i < x.size:
+        j = i
+        while j + 1 < x.size and sorted_x[j + 1] == sorted_x[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + j + 2) / 2.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check(y_true, y_pred)
+    rt, rp = _rank(y_true), _rank(y_pred)
+    st, sp = rt.std(), rp.std()
+    if st == 0 or sp == 0:
+        return 0.0
+    return float(np.mean((rt - rt.mean()) * (rp - rp.mean())) / (st * sp))
+
+
+def top_k_overlap(y_true: np.ndarray, y_pred: np.ndarray, k: int) -> float:
+    """Fraction of the true top-k items the prediction also ranks top-k.
+
+    This is the decision-level agreement §4.3 reports: models that rank the
+    same high-benefit subtrees first produce the same migrations.
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    if not 1 <= k <= y_true.size:
+        raise ValueError("k out of range")
+    t = set(np.argsort(y_true)[-k:].tolist())
+    p = set(np.argsort(y_pred)[-k:].tolist())
+    return len(t & p) / k

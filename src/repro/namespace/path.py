@@ -1,0 +1,51 @@
+"""Slash-path utilities (no OS dependence; namespace paths are always POSIX)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["normalize", "components", "join", "basename", "dirname", "split"]
+
+
+def normalize(path: str) -> str:
+    """Canonicalise a path: leading slash, no empty / '.' segments, no trailing slash.
+
+    ``..`` is rejected — the metadata protocol resolves paths top-down and
+    never emits parent references.
+    """
+    parts = components(path)
+    return "/" + "/".join(parts) if parts else "/"
+
+
+def components(path: str) -> List[str]:
+    """Split into non-empty segments; rejects '..'."""
+    out: List[str] = []
+    for seg in path.split("/"):
+        if seg in ("", "."):
+            continue
+        if seg == "..":
+            raise ValueError(f"parent references not allowed: {path!r}")
+        out.append(seg)
+    return out
+
+
+def join(*parts: str) -> str:
+    """Join segments and normalise."""
+    return normalize("/".join(parts))
+
+
+def split(path: str) -> Tuple[str, str]:
+    """Return ``(dirname, basename)`` of a normalised path."""
+    parts = components(path)
+    if not parts:
+        return "/", ""
+    head = "/" + "/".join(parts[:-1]) if len(parts) > 1 else "/"
+    return head, parts[-1]
+
+
+def basename(path: str) -> str:
+    return split(path)[1]
+
+
+def dirname(path: str) -> str:
+    return split(path)[0]

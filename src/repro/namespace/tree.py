@@ -1,0 +1,462 @@
+"""Array-backed hierarchical namespace tree.
+
+Inode numbers are dense non-negative integers (root = 0), so per-inode fields
+live in parallel arrays indexed by ino.  The structures every upper layer
+leans on:
+
+* ``resolve(path)`` — the component-by-component walk clients perform; the
+  returned ancestor chain is what the cost model charges ``T_inode`` reads
+  and partition crossings against.
+* :class:`DfsIndex` — a lazily (re)built preorder index over *directories*.
+  It turns "is directory ``d`` inside subtree ``s``" into an O(1) interval
+  test and subtree aggregation of any per-directory value array into one
+  vectorised prefix-sum — the hot path of both the Meta-OPT ledger and the
+  Table-1 feature extractor.
+
+Structural directory mutations (mkdir / rmdir / rename of a directory)
+invalidate the cached index; file creation only touches per-directory
+counters, so replaying file-heavy traces does not thrash the index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.namespace.inode import FileType, Inode
+from repro.namespace.path import components
+
+__all__ = ["NamespaceTree", "DfsIndex", "ROOT_INO"]
+
+ROOT_INO = 0
+
+
+class DfsIndex:
+    """Preorder (Euler-interval) index over the live directories of a tree.
+
+    ``order[i]`` is the ino of the i-th directory in preorder; ``tin[ino]``
+    and ``tout[ino]`` delimit the half-open interval of preorder positions
+    occupied by ``ino``'s directory subtree.  Non-directories and dead inodes
+    have ``tin == -1``.
+    """
+
+    __slots__ = ("order", "tin", "tout")
+
+    def __init__(self, order: np.ndarray, tin: np.ndarray, tout: np.ndarray):
+        self.order = order
+        self.tin = tin
+        self.tout = tout
+
+    def contains(self, subtree_root: int, dir_ino: int) -> bool:
+        """True iff ``dir_ino`` lies in the directory subtree rooted at ``subtree_root``."""
+        pos = self.tin[dir_ino]
+        if pos < 0:
+            raise ValueError(f"ino {dir_ino} is not an indexed directory")
+        return self.tin[subtree_root] <= pos < self.tout[subtree_root]
+
+    def subtree_size(self, subtree_root: int) -> int:
+        """Number of directories (including the root) in the subtree."""
+        return int(self.tout[subtree_root] - self.tin[subtree_root])
+
+    def subtree_sum(self, per_dir: np.ndarray) -> np.ndarray:
+        """Aggregate ``per_dir`` (indexed by ino) over every directory subtree.
+
+        Returns an array indexed by ino: ``out[d]`` is the sum of ``per_dir``
+        over all directories in ``d``'s subtree.  One gather + one prefix sum;
+        O(#dirs) regardless of how many subtrees are queried afterwards.
+        """
+        vals = per_dir[self.order]
+        prefix = np.concatenate(([0.0], np.cumsum(vals, dtype=np.float64)))
+        out = np.zeros(per_dir.shape[0], dtype=np.float64)
+        live = self.order
+        out[live] = prefix[self.tout[live]] - prefix[self.tin[live]]
+        return out
+
+    def dirs_in_subtree(self, subtree_root: int) -> np.ndarray:
+        """Array of dir inos inside the subtree (preorder)."""
+        return self.order[self.tin[subtree_root] : self.tout[subtree_root]]
+
+
+class NamespaceTree:
+    """The directory tree plus file entries; the single source of truth."""
+
+    def __init__(self) -> None:
+        self._parent: List[int] = [ROOT_INO]
+        self._name: List[str] = [""]
+        self._ftype: List[int] = [int(FileType.DIRECTORY)]
+        self._depth: List[int] = [0]
+        self._alive: List[bool] = [True]
+        self._size: List[int] = [0]
+        # children maps exist only for directories
+        self._children: List[Optional[Dict[str, int]]] = [{}]
+        self._n_child_files: List[int] = [0]
+        self._n_child_dirs: List[int] = [0]
+        self._num_dirs = 1
+        self._num_files = 0
+        self._dfs_cache: Optional[DfsIndex] = None
+        #: bumped on every structural directory mutation; consumers that keep
+        #: derived state (partition maps) watch this to know when to refresh.
+        self.version = 0
+
+    # ------------------------------------------------------------------ sizes
+    def __len__(self) -> int:
+        return self._num_dirs + self._num_files
+
+    @property
+    def capacity(self) -> int:
+        """One past the largest ino ever allocated (array sizing)."""
+        return len(self._parent)
+
+    @property
+    def num_dirs(self) -> int:
+        return self._num_dirs
+
+    @property
+    def num_files(self) -> int:
+        return self._num_files
+
+    # -------------------------------------------------------------- accessors
+    def is_alive(self, ino: int) -> bool:
+        return 0 <= ino < len(self._alive) and self._alive[ino]
+
+    def _check(self, ino: int) -> None:
+        if not self.is_alive(ino):
+            raise KeyError(f"ino {ino} does not exist")
+
+    def is_dir(self, ino: int) -> bool:
+        self._check(ino)
+        return self._ftype[ino] == int(FileType.DIRECTORY)
+
+    def parent(self, ino: int) -> int:
+        self._check(ino)
+        return self._parent[ino]
+
+    def name(self, ino: int) -> str:
+        self._check(ino)
+        return self._name[ino]
+
+    def depth(self, ino: int) -> int:
+        self._check(ino)
+        return self._depth[ino]
+
+    def n_child_files(self, ino: int) -> int:
+        self._check_dir(ino)
+        return self._n_child_files[ino]
+
+    def n_child_dirs(self, ino: int) -> int:
+        self._check_dir(ino)
+        return self._n_child_dirs[ino]
+
+    def children(self, ino: int) -> Dict[str, int]:
+        self._check_dir(ino)
+        return self._children[ino]  # type: ignore[return-value]
+
+    def inode(self, ino: int) -> Inode:
+        """Materialise an :class:`Inode` view of ``ino``."""
+        self._check(ino)
+        return Inode(
+            ino=ino,
+            parent=self._parent[ino],
+            name=self._name[ino],
+            ftype=FileType(self._ftype[ino]),
+            depth=self._depth[ino],
+            size=self._size[ino],
+        )
+
+    def _check_dir(self, ino: int) -> None:
+        self._check(ino)
+        if self._ftype[ino] != int(FileType.DIRECTORY):
+            raise NotADirectoryError(f"ino {ino} ({self.path_of(ino)}) is not a directory")
+
+    # ------------------------------------------------------------- mutations
+    def _alloc(self, parent: int, name: str, ftype: FileType) -> int:
+        self._check_dir(parent)
+        if not name or "/" in name:
+            raise ValueError(f"invalid entry name {name!r}")
+        kids = self._children[parent]
+        assert kids is not None
+        if name in kids:
+            raise FileExistsError(f"{self.path_of(parent)}/{name} already exists")
+        ino = len(self._parent)
+        self._parent.append(parent)
+        self._name.append(name)
+        self._ftype.append(int(ftype))
+        self._depth.append(self._depth[parent] + 1)
+        self._alive.append(True)
+        self._size.append(0)
+        kids[name] = ino
+        if ftype == FileType.DIRECTORY:
+            self._children.append({})
+            self._n_child_files.append(0)
+            self._n_child_dirs.append(0)
+            self._n_child_dirs[parent] += 1
+            self._num_dirs += 1
+            self._invalidate()
+        else:
+            self._children.append(None)
+            self._n_child_files.append(0)
+            self._n_child_dirs.append(0)
+            self._n_child_files[parent] += 1
+            self._num_files += 1
+        return ino
+
+    def create_dir(self, parent: int, name: str) -> int:
+        """mkdir: create a directory under ``parent``; returns the new ino."""
+        return self._alloc(parent, name, FileType.DIRECTORY)
+
+    def create_file(self, parent: int, name: str, size: int = 0) -> int:
+        """create: add a regular file under ``parent``; returns the new ino."""
+        ino = self._alloc(parent, name, FileType.REGULAR)
+        self._size[ino] = size
+        return ino
+
+    def makedirs(self, path: str) -> int:
+        """Create every missing directory along ``path``; returns the leaf ino."""
+        cur = ROOT_INO
+        for seg in components(path):
+            kids = self._children[cur]
+            assert kids is not None
+            nxt = kids.get(seg)
+            if nxt is None:
+                cur = self.create_dir(cur, seg)
+            else:
+                if self._ftype[nxt] != int(FileType.DIRECTORY):
+                    raise NotADirectoryError(f"{seg} along {path} is a file")
+                cur = nxt
+        return cur
+
+    def remove(self, ino: int) -> None:
+        """Unlink a file or an *empty* directory (rmdir semantics)."""
+        self._check(ino)
+        if ino == ROOT_INO:
+            raise ValueError("cannot remove the root")
+        if self._ftype[ino] == int(FileType.DIRECTORY):
+            kids = self._children[ino]
+            assert kids is not None
+            if kids:
+                raise OSError(f"directory not empty: {self.path_of(ino)}")
+        parent = self._parent[ino]
+        pk = self._children[parent]
+        assert pk is not None
+        del pk[self._name[ino]]
+        self._alive[ino] = False
+        if self._ftype[ino] == int(FileType.DIRECTORY):
+            self._n_child_dirs[parent] -= 1
+            self._num_dirs -= 1
+            self._children[ino] = None
+            self._invalidate()
+        else:
+            self._n_child_files[parent] -= 1
+            self._num_files -= 1
+
+    def rename(self, ino: int, new_parent: int, new_name: str) -> None:
+        """Move/rename an entry; rejects moving a directory under itself."""
+        self._check(ino)
+        self._check_dir(new_parent)
+        if ino == ROOT_INO:
+            raise ValueError("cannot rename the root")
+        if self._ftype[ino] == int(FileType.DIRECTORY):
+            # cycle check: walk new_parent's ancestors
+            cur = new_parent
+            while cur != ROOT_INO:
+                if cur == ino:
+                    raise ValueError("cannot move a directory into its own subtree")
+                cur = self._parent[cur]
+            if new_parent == ino:
+                raise ValueError("cannot move a directory into itself")
+        dest_kids = self._children[new_parent]
+        assert dest_kids is not None
+        if new_name in dest_kids:
+            raise FileExistsError(f"{self.path_of(new_parent)}/{new_name} already exists")
+        old_parent = self._parent[ino]
+        src_kids = self._children[old_parent]
+        assert src_kids is not None
+        del src_kids[self._name[ino]]
+        dest_kids[new_name] = ino
+        self._parent[ino] = new_parent
+        self._name[ino] = new_name
+        if self._ftype[ino] == int(FileType.DIRECTORY):
+            self._n_child_dirs[old_parent] -= 1
+            self._n_child_dirs[new_parent] += 1
+            self._refresh_depths(ino)
+            self._invalidate()
+        else:
+            self._n_child_files[old_parent] -= 1
+            self._n_child_files[new_parent] += 1
+            self._depth[ino] = self._depth[new_parent] + 1
+
+    def _refresh_depths(self, root: int) -> None:
+        stack = [root]
+        while stack:
+            ino = stack.pop()
+            self._depth[ino] = self._depth[self._parent[ino]] + 1
+            kids = self._children[ino]
+            if kids:
+                stack.extend(kids.values())
+
+    def _invalidate(self) -> None:
+        self._dfs_cache = None
+        self.version += 1
+
+    # ------------------------------------------------------------ navigation
+    def lookup(self, path: str) -> int:
+        """Resolve ``path`` to an ino; KeyError if any component is missing."""
+        cur = ROOT_INO
+        for seg in components(path):
+            if self._ftype[cur] != int(FileType.DIRECTORY):
+                raise NotADirectoryError(f"{seg} under a file in {path!r}")
+            kids = self._children[cur]
+            assert kids is not None
+            try:
+                cur = kids[seg]
+            except KeyError:
+                raise KeyError(f"{path!r}: component {seg!r} not found") from None
+        return cur
+
+    def try_lookup(self, path: str) -> Optional[int]:
+        try:
+            return self.lookup(path)
+        except (KeyError, NotADirectoryError):
+            return None
+
+    def resolve(self, ino: int) -> List[int]:
+        """Ancestor chain root → ``ino`` inclusive (the path-resolution walk)."""
+        self._check(ino)
+        chain: List[int] = []
+        cur = ino
+        while True:
+            chain.append(cur)
+            if cur == ROOT_INO:
+                break
+            cur = self._parent[cur]
+        chain.reverse()
+        return chain
+
+    def path_of(self, ino: int) -> str:
+        self._check(ino)
+        if ino == ROOT_INO:
+            return "/"
+        parts: List[str] = []
+        cur = ino
+        while cur != ROOT_INO:
+            parts.append(self._name[cur])
+            cur = self._parent[cur]
+        return "/" + "/".join(reversed(parts))
+
+    def ancestors(self, ino: int) -> Iterator[int]:
+        """Yield proper ancestors of ``ino``, nearest first, ending at root."""
+        self._check(ino)
+        cur = self._parent[ino]
+        while True:
+            yield cur
+            if cur == ROOT_INO:
+                return
+            cur = self._parent[cur]
+
+    def iter_dirs(self) -> Iterator[int]:
+        """All live directory inos (ascending ino order)."""
+        for ino in range(len(self._parent)):
+            if self._alive[ino] and self._ftype[ino] == int(FileType.DIRECTORY):
+                yield ino
+
+    def iter_subtree_dirs(self, root: int) -> Iterator[int]:
+        """Directories in ``root``'s subtree, preorder (root first)."""
+        self._check_dir(root)
+        stack = [root]
+        while stack:
+            ino = stack.pop()
+            yield ino
+            kids = self._children[ino]
+            assert kids is not None
+            for child in kids.values():
+                if self._ftype[child] == int(FileType.DIRECTORY):
+                    stack.append(child)
+
+    # ------------------------------------------------------------ bulk views
+    def dfs_index(self) -> DfsIndex:
+        """Return the (cached) preorder index over live directories."""
+        if self._dfs_cache is None:
+            self._dfs_cache = self._build_dfs()
+        return self._dfs_cache
+
+    def _build_dfs(self) -> DfsIndex:
+        n = len(self._parent)
+        tin = np.full(n, -1, dtype=np.int64)
+        tout = np.full(n, -1, dtype=np.int64)
+        order = np.empty(self._num_dirs, dtype=np.int64)
+        pos = 0
+        # iterative preorder with explicit post hooks for tout
+        stack: List[Tuple[int, bool]] = [(ROOT_INO, False)]
+        while stack:
+            ino, done = stack.pop()
+            if done:
+                tout[ino] = pos
+                continue
+            order[pos] = ino
+            tin[ino] = pos
+            pos += 1
+            stack.append((ino, True))
+            kids = self._children[ino]
+            assert kids is not None
+            # deterministic order: sorted child names
+            for name in sorted(kids, reverse=True):
+                child = kids[name]
+                if self._ftype[child] == int(FileType.DIRECTORY):
+                    stack.append((child, False))
+        assert pos == self._num_dirs
+        return DfsIndex(order, tin, tout)
+
+    def depth_array(self) -> np.ndarray:
+        """Depths indexed by ino (dead inodes included; check liveness separately)."""
+        return np.asarray(self._depth, dtype=np.int64)
+
+    def parent_array(self) -> np.ndarray:
+        return np.asarray(self._parent, dtype=np.int64)
+
+    def child_file_counts(self) -> np.ndarray:
+        return np.asarray(self._n_child_files, dtype=np.int64)
+
+    def child_dir_counts(self) -> np.ndarray:
+        return np.asarray(self._n_child_dirs, dtype=np.int64)
+
+    def dir_mask(self) -> np.ndarray:
+        """Boolean array indexed by ino: live directory?"""
+        ft = np.asarray(self._ftype, dtype=np.int64)
+        alive = np.asarray(self._alive, dtype=bool)
+        return alive & (ft == int(FileType.DIRECTORY))
+
+    # ------------------------------------------------------------- utilities
+    def owning_dir(self, ino: int) -> int:
+        """The directory whose partition owns this entry: itself if a dir, else parent."""
+        self._check(ino)
+        if self._ftype[ino] == int(FileType.DIRECTORY):
+            return ino
+        return self._parent[ino]
+
+    def validate(self) -> None:
+        """Internal consistency check (tests and failure-injection hooks)."""
+        n_dirs = 0
+        n_files = 0
+        for ino in range(len(self._parent)):
+            if not self._alive[ino]:
+                continue
+            if self._ftype[ino] == int(FileType.DIRECTORY):
+                n_dirs += 1
+                kids = self._children[ino]
+                assert kids is not None, f"dir {ino} lost its child map"
+                nf = sum(
+                    1 for c in kids.values() if self._ftype[c] != int(FileType.DIRECTORY)
+                )
+                nd = len(kids) - nf
+                assert nf == self._n_child_files[ino], f"file count drift at {ino}"
+                assert nd == self._n_child_dirs[ino], f"dir count drift at {ino}"
+                for name, c in kids.items():
+                    assert self._alive[c], f"dead child {c} linked at {ino}"
+                    assert self._parent[c] == ino, f"parent drift at {c}"
+                    assert self._name[c] == name, f"name drift at {c}"
+                    assert self._depth[c] == self._depth[ino] + 1, f"depth drift at {c}"
+            else:
+                n_files += 1
+        assert n_dirs == self._num_dirs, "dir counter drift"
+        assert n_files == self._num_files, "file counter drift"

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation (DES) kernel.
+
+This package is the substrate every timed component of the reproduction runs
+on: metadata servers, clients, the network, and the data path are all
+generator-based processes scheduled by :class:`~repro.sim.engine.Environment`.
+
+The kernel is intentionally SimPy-flavoured (``env.process``, ``env.timeout``,
+``yield event``) so the simulator code in :mod:`repro.fs` reads like standard
+DES code, but it is self-contained, deterministic, and tuned for the event
+rates this workload produces (millions of events per run):
+
+* the event heap stores plain tuples, no per-event object churn beyond the
+  :class:`~repro.sim.engine.Event` instances the model already needs;
+* same-time events fire in strict FIFO order of scheduling (a monotone
+  sequence number breaks ties), which makes every run bit-reproducible;
+* randomness is never global — components draw from named
+  :class:`~repro.sim.rng.RngStream` children so adding a component never
+  perturbs another component's random sequence.
+"""
+
+from repro.sim.engine import Environment, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import FifoQueue, Resource, Store
+from repro.sim.rng import RngStream, SeedSequenceFactory
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Store",
+    "FifoQueue",
+    "RngStream",
+    "SeedSequenceFactory",
+]

@@ -1,0 +1,291 @@
+"""Event loop and primitive events for the DES kernel.
+
+The design follows the classic event-calendar pattern: a binary heap of
+``(time, priority, sequence, event)`` tuples.  ``sequence`` is a monotonically
+increasing integer, so events scheduled at the same virtual time with the same
+priority always fire in the order they were scheduled.  Determinism of the
+whole simulation reduces to determinism of the model code plus seeded RNG
+streams (:mod:`repro.sim.rng`).
+
+Virtual time is a float; the reproduction uses **milliseconds** throughout
+(see ``repro.costmodel.params`` for the unit conventions).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Environment", "Event", "Timeout", "Interrupt", "StopSimulation"]
+
+#: priority for ordinary events
+NORMAL = 1
+#: priority for "urgent" bookkeeping events (fire before normal ones at t)
+URGENT = 0
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries whatever the interrupter supplied.  The metadata
+    simulator uses interrupts to cancel in-flight client requests when a run
+    is truncated at a deadline.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at ``until``."""
+
+
+class Event:
+    """A one-shot occurrence that callbacks (usually processes) wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled on the calendar with a value), and *processed* (callbacks ran).
+    Waiting on an already-processed event is allowed and resumes the waiter
+    immediately at the current time — the simulator relies on this for cache
+    hits that complete "instantly".
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = Event._PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event._PENDING:
+            raise AttributeError("event value is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters see it raised."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome (used by condition events)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self._processed
+            else ("triggered" if self._triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class AllOf(Event):
+    """Fires when all child events have fired; value is the list of values."""
+
+    __slots__ = ("_remaining", "_values")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        events = list(events)
+        self._values: list = [None] * len(events)
+        self._remaining = len(events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for idx, ev in enumerate(events):
+            self._subscribe(idx, ev)
+
+    def _subscribe(self, idx: int, ev: Event) -> None:
+        def on_done(done: Event, _idx: int = idx) -> None:
+            if self._triggered:
+                return
+            if not done._ok:
+                self.fail(done._value)
+                return
+            self._values[_idx] = done._value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.succeed(list(self._values))
+
+        if ev._processed:
+            # Already over: fold its outcome in via an immediate callback.
+            self.env._immediate(lambda: on_done(ev))
+        else:
+            ev.callbacks.append(on_done)
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is that event's value."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        events = list(events)
+        if not events:
+            self.succeed(None)
+            return
+
+        def on_done(done: Event) -> None:
+            if self._triggered:
+                return
+            self.trigger(done)
+
+        for ev in events:
+            if ev._processed:
+                self.env._immediate(lambda e=ev: on_done(e))
+            else:
+                ev.callbacks.append(on_done)
+
+
+class Environment:
+    """The event calendar plus factory helpers for events and processes."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._seq = 0
+        self._event_count = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time (milliseconds by project convention)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far (diagnostics)."""
+        return self._event_count
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator) -> "Process":
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _immediate(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` as an urgent zero-delay event (keeps causality ordering)."""
+        ev = Event(self)
+        ev._triggered = True
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda _e: fn())
+        self._schedule(ev, URGENT, 0.0)
+
+    # -- main loop ----------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event. Raises IndexError if the calendar is empty."""
+        t, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = t
+        self._event_count += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not callbacks:
+            # A failed event nobody waited on would silently swallow the
+            # exception; surface it instead.
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the calendar is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar drains or virtual time reaches ``until``.
+
+        When ``until`` is given, the clock is advanced exactly to ``until``
+        even if the last event fires earlier, so post-run statistics can
+        normalise by the intended horizon.
+        """
+        if until is not None:
+            until = float(until)
+            if until < self._now:
+                raise ValueError(f"until={until} lies in the past (now={self._now})")
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self._now = until
+                    return
+                self.step()
+        except StopSimulation:
+            return
+        if until is not None:
+            self._now = until

@@ -1,0 +1,100 @@
+"""Generator-backed processes for the DES kernel.
+
+A process is a Python generator that ``yield``s :class:`~repro.sim.engine.Event`
+objects; the process resumes when the yielded event fires, receiving the
+event's value at the ``yield`` expression (or its exception raised in place).
+A :class:`Process` is itself an event that fires when the generator returns,
+so processes can wait on each other (fork/join) with plain ``yield child``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Environment, Event, Interrupt
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """Drives a generator; fires (as an event) with the generator's return value."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: Environment, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once at the current time.
+        env._immediate(self._bootstrap)
+
+    def _bootstrap(self) -> None:
+        self._resume(None, ok=True)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self._triggered:
+            raise RuntimeError(f"{self.name} has already terminated")
+        if self._waiting_on is None:
+            raise RuntimeError(f"{self.name} is not waiting on an event yet")
+        target = self._waiting_on
+        # Detach from whatever it waited on so the original event firing
+        # later does not double-resume the process.
+        if target.callbacks is not None:
+            target.callbacks = [cb for cb in target.callbacks if getattr(cb, "__self__", None) is not self]
+        self._waiting_on = None
+        exc = Interrupt(cause)
+        self.env._immediate(lambda: self._resume(exc, ok=False))
+
+    # -- generator stepping -------------------------------------------------
+    def _resume(self, value: Any, ok: bool) -> None:
+        if self._triggered:
+            return
+        gen = self._generator
+        while True:
+            try:
+                if ok:
+                    target = gen.send(value)
+                else:
+                    target = gen.throw(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # An unhandled interrupt terminates the process quietly; the
+                # interrupter decided the work is moot.
+                self.succeed(None)
+                return
+            except BaseException as exc:
+                # An uncaught exception fails the process event: waiters see
+                # it raised at their yield; if nobody waits, the engine
+                # surfaces it when the failed event fires unobserved.
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                gen.throw(TypeError(f"process yielded non-event {target!r}"))
+                return
+
+            if target._processed:
+                # Already over: continue synchronously with its outcome.
+                if target._ok:
+                    value, ok = target._value, True
+                    continue
+                value, ok = target._value, False
+                continue
+
+            self._waiting_on = target
+            target.callbacks.append(self._on_event)
+            return
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        self._resume(event._value, event._ok)

@@ -1,0 +1,144 @@
+"""Shared resources for DES processes: counted resources, stores, FIFO queues.
+
+These model the contended components of the metadata cluster:
+
+* :class:`Resource` — an MDS worker pool (capacity = service concurrency);
+  requests queue FIFO, which is exactly the single-queue model Eq. (1)'s
+  ``Q_i`` term assumes.
+* :class:`Store` — an unbounded message mailbox (RPC delivery, migration
+  pipeline between the balancer and the Migrator).
+* :class:`FifoQueue` — a thin deque with waiter hand-off, used where the
+  overhead of ``Store`` events is unnecessary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Resource", "Store", "FifoQueue"]
+
+
+class _Request(Event):
+    """Pending acquisition of a :class:`Resource` slot (use as context manager)."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    ``queue_len`` and the cumulative ``wait_time`` statistic feed the
+    queueing-delay component of the cost model validation tests.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: set = set()
+        self.waiters: deque = deque()
+        self._wait_started: dict = {}
+        self.total_wait_time = 0.0
+        self.total_grants = 0
+
+    @property
+    def queue_len(self) -> int:
+        return len(self.waiters)
+
+    @property
+    def in_use(self) -> int:
+        return len(self.users)
+
+    def request(self) -> _Request:
+        req = _Request(self)
+        if len(self.users) < self.capacity:
+            self.users.add(req)
+            self.total_grants += 1
+            req.succeed()
+        else:
+            self.waiters.append(req)
+            self._wait_started[req] = self.env.now
+        return req
+
+    def release(self, req: _Request) -> None:
+        if req in self.users:
+            self.users.discard(req)
+        elif req in self._wait_started:
+            # Released while still queued (cancelled request).
+            self.waiters.remove(req)
+            del self._wait_started[req]
+            return
+        else:
+            return
+        while self.waiters and len(self.users) < self.capacity:
+            nxt = self.waiters.popleft()
+            started = self._wait_started.pop(nxt)
+            self.total_wait_time += self.env.now - started
+            self.total_grants += 1
+            self.users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """Unbounded item store with FIFO put/get semantics (a mailbox)."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.items: deque = deque()
+        self._getters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class FifoQueue:
+    """Minimal deque wrapper tracking peak occupancy (for metrics)."""
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: Any) -> None:
+        self._items.append(item)
+        if len(self._items) > self.peak:
+            self.peak = len(self._items)
+
+    def pop(self) -> Any:
+        return self._items.popleft()
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0] if self._items else None

@@ -1,0 +1,27 @@
+"""The Origami training workflow (§4.3).
+
+Label generation replays a trace epoch by epoch against the analytic model:
+the epoch's Data-Collector statistics become Table-1 features, the *next*
+window's Meta-OPT benefits become the labels (Bélády-style supervision), and
+the highest-benefit decisions are applied so later epochs contribute samples
+from progressively rebalanced states — "repeated iteratively to
+progressively enrich the training dataset".
+
+Offline training then fits the three model families the paper compares
+(LightGBM-style GBDT, depth-wise GBDT, 4-hidden-layer MLP) and reports both
+accuracy metrics and the decision-level agreement (§4.3's observation that
+all three pick the same high-benefit subtrees).
+"""
+
+from repro.training.labelgen import collect_training_data, record_window
+from repro.training.online import OnlineOrigamiPolicy
+from repro.training.pipeline import ModelReport, train_models, train_origami_model
+
+__all__ = [
+    "collect_training_data",
+    "record_window",
+    "train_models",
+    "train_origami_model",
+    "ModelReport",
+    "OnlineOrigamiPolicy",
+]

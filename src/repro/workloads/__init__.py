@@ -1,0 +1,32 @@
+"""Workload traces: container, samplers, and the three paper workloads.
+
+The evaluation replays three real-world-shaped traces (§5.1):
+
+* **Trace-RW** (:mod:`~repro.workloads.compile_rw`) — a large compilation
+  job: header stats fan out across modules, object files are created into
+  per-module build directories; mixed reads/writes.
+* **Trace-RO** (:mod:`~repro.workloads.web_ro`) — a web-server access log:
+  read-only, heavily Zipf-skewed, deep paths, hotspot drift over time.
+* **Trace-WI** (:mod:`~repro.workloads.cloud_wi`) — a write-intensive cloud
+  file system: bursts of file creation into tenant shard directories with a
+  rapidly shifting tenant skew.
+
+A :class:`~repro.workloads.trace.Trace` is column-oriented (NumPy arrays) so
+the analytic cost model evaluates it vectorised; names are kept alongside for
+the DES replay, which materialises creations/deletions in the namespace.
+"""
+
+from repro.workloads.cloud_wi import generate_trace_wi
+from repro.workloads.compile_rw import generate_trace_rw
+from repro.workloads.mdtest import generate_trace_mdtest
+from repro.workloads.trace import Trace, TraceBuilder
+from repro.workloads.web_ro import generate_trace_ro
+
+__all__ = [
+    "Trace",
+    "TraceBuilder",
+    "generate_trace_rw",
+    "generate_trace_ro",
+    "generate_trace_wi",
+    "generate_trace_mdtest",
+]

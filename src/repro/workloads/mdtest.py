@@ -1,0 +1,75 @@
+"""mdtest-style metadata microbenchmark workload.
+
+mdtest is the standard tool for saturating metadata services (used by the
+IO500 and by most metadata papers for peak-throughput numbers): each of N
+"ranks" owns a private directory and runs phased create → stat → readdir →
+unlink sweeps over its files.  Unlike the three paper traces this workload
+is perfectly regular — every rank-dir carries identical load — which makes
+it ideal for calibrating peak per-MDS throughput and for testing that
+balancers neither help nor hurt an already-uniform workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.namespace.builder import BuiltNamespace
+from repro.namespace.tree import NamespaceTree
+from repro.sim.rng import RngStream
+from repro.workloads.trace import Trace, TraceBuilder
+
+__all__ = ["generate_trace_mdtest"]
+
+
+def generate_trace_mdtest(
+    rng: RngStream,
+    n_ops: int = 100_000,
+    n_ranks: int = 32,
+    files_per_rank: int = 64,
+    depth: int = 3,
+    interleave_ranks: bool = True,
+) -> Tuple[BuiltNamespace, Trace]:
+    """Build the per-rank directory tree and the phased op stream.
+
+    ``depth`` nests each rank directory that many levels under ``/mdtest``
+    (mdtest's ``-z``), so path-resolution costs are uniform but non-trivial.
+    With ``interleave_ranks`` the phases interleave ops across ranks (the
+    concurrent setting); otherwise each rank completes its phase alone.
+    """
+    if n_ranks < 1 or files_per_rank < 1:
+        raise ValueError("need at least one rank and one file per rank")
+    tree = NamespaceTree()
+    rank_dirs: List[int] = []
+    for r in range(n_ranks):
+        path = "/mdtest/" + "/".join(f"z{r:03d}.{lvl}" for lvl in range(depth))
+        rank_dirs.append(tree.makedirs(path))
+
+    tb = TraceBuilder(label="mdtest")
+    cycle = 0
+    while len(tb) < n_ops:
+        suffix = f".c{cycle}"
+        phases = []
+        for phase in ("create", "stat", "readdir", "unlink"):
+            ops: List[Tuple[int, str, str]] = []
+            for f in range(files_per_rank):
+                for r, d in enumerate(rank_dirs):
+                    ops.append((d, f"file.{f:05d}{suffix}", phase))
+            phases.append(ops)
+        for ops in phases:
+            if not interleave_ranks:
+                ops = sorted(ops, key=lambda t: t[0])
+            for d, name, phase in ops:
+                if len(tb) >= n_ops:
+                    break
+                if phase == "create":
+                    tb.create(d, name)
+                elif phase == "stat":
+                    tb.stat(d, name)
+                elif phase == "readdir":
+                    tb.readdir(d)
+                else:
+                    tb.unlink(d, name)
+        cycle += 1
+
+    built = BuiltNamespace(tree=tree, read_dirs=list(rank_dirs), write_dirs=list(rank_dirs))
+    return built, tb.build()

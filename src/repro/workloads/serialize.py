@@ -1,0 +1,113 @@
+"""Trace/namespace bundle serialization (compact ``.npz`` + embedded JSON).
+
+A bundle stores everything needed to replay an experiment elsewhere: the
+namespace tree (parallel arrays) and the trace columns.  Useful for sharing
+generated workloads, pinning a workload across code versions, or feeding the
+simulator from externally converted real traces.
+
+Format: a single NumPy ``.npz`` containing the tree's parallel arrays (names
+joined with ``\\x00``), the trace columns, and a JSON header with versioning.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.namespace.inode import FileType
+from repro.namespace.tree import NamespaceTree
+from repro.workloads.trace import Trace
+
+__all__ = ["save_bundle", "load_bundle", "BUNDLE_VERSION"]
+
+BUNDLE_VERSION = 1
+_SEP = "\x00"
+
+
+def save_bundle(path: str, tree: NamespaceTree, trace: Optional[Trace] = None) -> None:
+    """Write tree (+ optional trace) to ``path`` as an ``.npz`` bundle."""
+    header = {
+        "version": BUNDLE_VERSION,
+        "num_dirs": tree.num_dirs,
+        "num_files": tree.num_files,
+        "has_trace": trace is not None,
+        "trace_label": trace.label if trace is not None else "",
+        "trace_has_names": trace is not None and trace.names is not None,
+    }
+    cap = tree.capacity
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "parent": tree.parent_array(),
+        "ftype": np.asarray(tree._ftype, dtype=np.int8),
+        "alive": np.asarray(tree._alive, dtype=bool),
+        "size": np.asarray(tree._size, dtype=np.int64),
+        "names": np.frombuffer(_SEP.join(tree._name).encode("utf-8"), dtype=np.uint8),
+    }
+    if trace is not None:
+        arrays["trace_op"] = trace.op
+        arrays["trace_dir"] = trace.dir_ino
+        arrays["trace_aux"] = trace.aux
+        if trace.names is not None:
+            arrays["trace_names"] = np.frombuffer(
+                _SEP.join(trace.names).encode("utf-8"), dtype=np.uint8
+            )
+    np.savez_compressed(path, **arrays)
+
+
+def load_bundle(path: str) -> Tuple[NamespaceTree, Optional[Trace]]:
+    """Reconstruct a tree (+ trace) saved by :func:`save_bundle`."""
+    with np.load(path) as z:
+        header = json.loads(bytes(z["header"]).decode("utf-8"))
+        if header.get("version") != BUNDLE_VERSION:
+            raise ValueError(f"unsupported bundle version {header.get('version')}")
+        parent = z["parent"]
+        ftype = z["ftype"]
+        alive = z["alive"]
+        size = z["size"]
+        names = bytes(z["names"]).decode("utf-8").split(_SEP)
+        tree = _rebuild_tree(parent, ftype, alive, size, names)
+        if tree.num_dirs != header["num_dirs"] or tree.num_files != header["num_files"]:
+            raise ValueError("bundle is corrupt: entity counts do not match header")
+        trace = None
+        if header["has_trace"]:
+            tnames = None
+            if header["trace_has_names"]:
+                tnames = bytes(z["trace_names"]).decode("utf-8").split(_SEP)
+            trace = Trace(
+                z["trace_op"], z["trace_dir"], z["trace_aux"], tnames, header["trace_label"]
+            )
+    return tree, trace
+
+
+def _rebuild_tree(parent, ftype, alive, size, names) -> NamespaceTree:
+    """Replay creations in ino order (parents always precede children).
+
+    Dead inos are materialised then removed so ino numbering is preserved —
+    traces reference inos, so numbering must survive the round trip.
+    """
+    n = parent.shape[0]
+    if not (ftype.shape[0] == alive.shape[0] == size.shape[0] == n and len(names) == n):
+        raise ValueError("bundle is corrupt: array lengths disagree")
+    tree = NamespaceTree()
+    dead = []
+    for ino in range(1, n):
+        p = int(parent[ino])
+        name = names[ino]
+        if not alive[ino]:
+            # a removed entry's name may have been reused by a live one;
+            # dead entries get placeholder names (they are removed below)
+            name = f"__dead_{ino}"
+        if ftype[ino] == int(FileType.DIRECTORY):
+            got = tree.create_dir(p, name)
+        else:
+            got = tree.create_file(p, name, size=int(size[ino]))
+        if got != ino:
+            raise ValueError(f"bundle is corrupt: ino drift at {ino}")
+        if not alive[ino]:
+            dead.append(ino)
+    # remove dead entries deepest-first so directories empty out before rmdir
+    for ino in sorted(dead, key=tree.depth, reverse=True):
+        tree.remove(ino)
+    return tree

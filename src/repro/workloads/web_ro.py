@@ -1,0 +1,60 @@
+"""Trace-RO: a read-only web access trace (skewed, deep, drifting).
+
+Models the Apache-access-log replay of [4, 39]: only read-type metadata
+operations (stat/open/readdir), a pronounced Zipf skew over directories,
+paths extending "to a considerable depth", and hotspot drift across time
+segments (Lunule's motivation: temporal locality shifts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.namespace.builder import BuiltNamespace, build_web_tree
+from repro.sim.rng import RngStream
+from repro.workloads.trace import Trace, TraceBuilder
+from repro.workloads.zipfian import DriftingZipf
+
+__all__ = ["generate_trace_ro"]
+
+
+def generate_trace_ro(
+    rng: RngStream,
+    n_ops: int = 100_000,
+    n_dirs: int = 3000,
+    alpha: float = 1.15,
+    segments: int = 8,
+    drift: float = 0.15,
+    readdir_fraction: float = 0.08,
+) -> Tuple[BuiltNamespace, Trace]:
+    """Build the web namespace and a read-only access trace."""
+    built = build_web_tree(rng, n_dirs=n_dirs)
+    tree = built.tree
+    # only directories that contain files can serve page requests
+    page_dirs = [d for d in built.read_dirs if tree.n_child_files(d) > 0]
+    sampler = DriftingZipf(rng, page_dirs, alpha=alpha, drift=drift)
+
+    tb = TraceBuilder(label="Trace-RO")
+    per_seg = max(1, n_ops // segments)
+    for seg in range(segments):
+        want = per_seg if seg < segments - 1 else n_ops - len(tb)
+        dirs = sampler.sample(want)
+        rolls = rng.random(want)
+        for d, roll in zip(dirs, rolls):
+            d = int(d)
+            if roll < readdir_fraction:
+                tb.readdir(d)
+            else:
+                kids = tree.children(d)
+                names = [n for n, i in kids.items() if not tree.is_dir(i)]
+                name = names[int(rng.integers(0, len(names)))]
+                if roll < readdir_fraction + (1 - readdir_fraction) * 0.6:
+                    tb.stat(d, name)
+                else:
+                    tb.open(d, name)
+        sampler.advance()
+    trace = tb.build()
+    assert trace.write_fraction() == 0.0
+    return built, trace

@@ -1,0 +1,70 @@
+"""Tests for the analytic epoch replay and its agreement with the DES."""
+
+import numpy as np
+import pytest
+
+from repro.balancers import CoarseHashPolicy, FineHashPolicy, LunulePolicy, SingleMdsPolicy
+from repro.costmodel import CostParams
+from repro.harness.analytic import analytic_replay
+from repro.sim import SeedSequenceFactory
+from repro.workloads import generate_trace_rw
+
+
+def make_world(seed=0, n_ops=24000):
+    return generate_trace_rw(SeedSequenceFactory(seed).stream("w"), n_ops=n_ops)
+
+
+def test_analytic_replay_basics():
+    built, trace = make_world()
+    params = CostParams(cache_depth=2)
+    res = analytic_replay(built.tree, trace, LunulePolicy(), 4, params, ops_per_epoch=4000)
+    assert res.n_ops == len(trace)
+    assert len(res.jct_per_epoch) == len(trace) // 4000 + (1 if len(trace) % 4000 else 0)
+    assert res.migrations > 0
+    assert res.throughput_proxy() > 0
+    assert res.rpcs_per_request >= 1.0
+    assert 1.0 <= res.mean_m <= 4.0
+
+
+def test_analytic_single_mds_jct_is_total_rct():
+    built, trace = make_world(seed=1, n_ops=8000)
+    params = CostParams(cache_depth=2)
+    res = analytic_replay(built.tree, trace, SingleMdsPolicy(), 1, params, ops_per_epoch=2000)
+    # one MDS: the max bin is the only bin; loads equal the JCT each epoch
+    for jct, loads in zip(res.jct_per_epoch, res.loads_per_epoch):
+        assert jct == pytest.approx(loads.sum())
+
+
+def test_analytic_balancing_reduces_epoch_jct():
+    built, trace = make_world(seed=2)
+    params = CostParams(cache_depth=2)
+    res = analytic_replay(built.tree, trace, LunulePolicy(), 4, params, ops_per_epoch=4000)
+    # after the balancer acts, later epochs' JCT must fall well below epoch 0
+    assert min(res.jct_per_epoch[1:]) < res.jct_per_epoch[0] * 0.6
+
+
+def test_analytic_ranks_strategies_like_the_des():
+    """The cheap proxy must order hash strategies the way the DES does:
+    C-Hash above F-Hash (locality), both above a single MDS."""
+    params = CostParams(cache_depth=2)
+
+    def proxy(policy, n_mds):
+        built, trace = make_world(seed=3)
+        return analytic_replay(
+            built.tree, trace, policy, n_mds, params, ops_per_epoch=4000
+        ).throughput_proxy()
+
+    single = proxy(SingleMdsPolicy(), 1)
+    chash = proxy(CoarseHashPolicy(), 5)
+    fhash = proxy(FineHashPolicy(), 5)
+    assert chash > fhash > single
+
+
+def test_analytic_deterministic():
+    params = CostParams(cache_depth=2)
+    built, trace = make_world(seed=4, n_ops=8000)
+    r1 = analytic_replay(built.tree, trace, LunulePolicy(), 3, params, ops_per_epoch=2000)
+    built2, trace2 = make_world(seed=4, n_ops=8000)
+    r2 = analytic_replay(built2.tree, trace2, LunulePolicy(), 3, params, ops_per_epoch=2000)
+    assert r1.jct_per_epoch == r2.jct_per_epoch
+    assert r1.migrations == r2.migrations

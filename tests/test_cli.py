@@ -1,0 +1,82 @@
+"""CLI tests (parser wiring + the fast subcommands end-to-end)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fig99"])
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5_overall" in out
+    assert "theorem1_gap" in out
+
+
+def test_workload_description(capsys):
+    assert main(["workload", "rw", "--ops", "3000"]) == 0
+    out = capsys.readouterr().out
+    assert "Trace-RW" in out
+    assert "write fraction" in out
+    assert "3,000" in out
+
+
+def test_workload_save_bundle(tmp_path, capsys):
+    path = str(tmp_path / "w.npz")
+    assert main(["workload", "ro", "--ops", "2000", "--save", path]) == 0
+    from repro.workloads.serialize import load_bundle
+
+    tree, trace = load_bundle(path)
+    assert len(trace) == 2000
+    assert trace.write_fraction() == 0.0
+
+
+def test_plan_command(capsys):
+    assert main(["plan", "wi", "--ops", "3000", "--moves", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "JCT" in out
+    assert "MDS0 ->" in out
+
+
+def test_simulate_command(capsys):
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "6000", "--mds", "3", "--clients", "20",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "Lunule" in out
+
+
+def test_run_theorem1_with_json(tmp_path, capsys):
+    out_path = str(tmp_path / "t1.json")
+    assert main(["run", "theorem1_gap", "--json", out_path]) == 0
+    blob = json.load(open(out_path))
+    assert blob["data"]["all_within_bound"] is True
+    printed = capsys.readouterr().out
+    assert "Theorem 1" in printed
+
+
+def test_simulate_extension_strategies(capsys):
+    for strategy in ("AdaM-RL",):
+        assert main([
+            "simulate", strategy, "rw", "--ops", "5000", "--mds", "3", "--clients", "20",
+        ]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+
+def test_experiments_list_includes_extensions(capsys):
+    main(["experiments"])
+    out = capsys.readouterr().out
+    assert "ablation_online_learning" in out
+    assert "ablation_cache_design" in out

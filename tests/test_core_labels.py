@@ -1,0 +1,93 @@
+"""Tests for Meta-OPT benefit label generation (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PartitionMap
+from repro.core import generate_labels
+from repro.costmodel import CostParams, evaluate_trace
+from repro.namespace.builder import build_random
+from repro.sim import SeedSequenceFactory
+from tests.test_costmodel_evaluate import random_trace
+
+
+@pytest.fixture
+def world():
+    ssf = SeedSequenceFactory(21)
+    rng = ssf.stream("w")
+    built = build_random(rng, n_dirs=40, files_per_dir_mean=2)
+    tree = built.tree
+    pmap = PartitionMap(tree, n_mds=3)
+    trace = random_trace(rng, tree, n_ops=400, include_rmdir=False)
+    return tree, pmap, trace, CostParams()
+
+
+def test_labels_cover_all_candidates(world):
+    tree, pmap, trace, params = world
+    lab = generate_labels(trace, tree, pmap, params, delta=1e9, epoch=4)
+    uniform = pmap.uniform_subtree_mask()
+    uniform[0] = False
+    assert set(lab.candidates.tolist()) == set(np.nonzero(uniform)[0].tolist())
+    assert lab.epoch == 4
+    assert lab.benefits.shape == lab.candidates.shape
+    assert np.all(lab.benefits >= 0)
+
+
+def test_labels_match_ground_truth_benefit(world):
+    """Each label equals the JCT improvement of actually applying the move."""
+    tree, pmap, trace, params = world
+    lab = generate_labels(trace, tree, pmap, params, delta=1e9)
+    base = evaluate_trace(trace, tree, pmap, params).jct
+    assert lab.base_jct == pytest.approx(base)
+    rng = np.random.default_rng(0)
+    for j in rng.choice(lab.candidates.size, size=15, replace=False):
+        j = int(j)
+        if lab.best_dst[j] < 0:
+            continue
+        what_if = pmap.copy()
+        what_if.migrate_subtree(int(lab.candidates[j]), int(lab.best_dst[j]))
+        jct = evaluate_trace(trace, tree, what_if, params).jct
+        assert lab.benefits[j] == pytest.approx(base - jct)
+
+
+def test_labels_best_dst_is_argmax(world):
+    tree, pmap, trace, params = world
+    lab = generate_labels(trace, tree, pmap, params, delta=1e9)
+    base = lab.base_jct
+    rng = np.random.default_rng(1)
+    for j in rng.choice(lab.candidates.size, size=10, replace=False):
+        j = int(j)
+        s = int(lab.candidates[j])
+        best = 0.0
+        for dst in range(pmap.n_mds):
+            if dst == pmap.owner(s):
+                continue
+            what_if = pmap.copy()
+            what_if.migrate_subtree(s, dst)
+            best = max(best, base - evaluate_trace(trace, tree, what_if, params).jct)
+        assert lab.benefits[j] == pytest.approx(best)
+
+
+def test_tight_delta_prunes_labels_and_respects_guard(world):
+    tree, pmap, trace, params = world
+    loose = generate_labels(trace, tree, pmap, params, delta=1e9)
+    tight = generate_labels(trace, tree, pmap, params, delta=1e-6)
+    assert tight.benefits.sum() <= loose.benefits.sum()
+    # every admissible tight-label move must actually satisfy the guard
+    for j in range(tight.candidates.size):
+        if tight.best_dst[j] < 0:
+            continue
+        s, dst = int(tight.candidates[j]), int(tight.best_dst[j])
+        src = pmap.owner(s)
+        what_if = pmap.copy()
+        what_if.migrate_subtree(s, dst)
+        loads = evaluate_trace(trace, tree, what_if, params).rct_per_mds
+        assert loads[dst] - loads[src] < 1e-6
+
+
+def test_positive_fraction_and_validation(world):
+    tree, pmap, trace, params = world
+    lab = generate_labels(trace, tree, pmap, params, delta=1e9)
+    assert 0.0 < lab.positive_fraction() <= 1.0
+    with pytest.raises(ValueError):
+        generate_labels(trace, tree, pmap, params, delta=0.0)

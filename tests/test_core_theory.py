@@ -1,0 +1,91 @@
+"""Theorem 1 (Appendix A) — property-based numerical verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    delta_constraint_satisfied,
+    greedy_benefit,
+    optimal_nested_benefit,
+    theorem1_gap_bound_holds,
+)
+
+
+def test_greedy_benefit_regimes():
+    # D large: benefit = l_s (A remains the max)
+    assert greedy_benefit(l_s=3.0, o_s=1.0, d=10.0) == 3.0
+    # D small: benefit = D - (l_s + o_s) (B becomes the max)
+    assert greedy_benefit(l_s=3.0, o_s=1.0, d=5.0) == pytest.approx(1.0)
+    # boundary D = 2l + o: both formulas coincide
+    assert greedy_benefit(3.0, 1.0, 7.0) == pytest.approx(3.0)
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        greedy_benefit(-1.0, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        optimal_nested_benefit([1.0], [-1.0], 1.0)
+    with pytest.raises(ValueError):
+        optimal_nested_benefit([1.0, 2.0], [0.5], 1.0)
+
+
+def test_delta_constraint():
+    # Δ > 2l + o - D
+    assert delta_constraint_satisfied(l_s=2.0, o_s=1.0, d=4.0, delta=1.5)
+    assert not delta_constraint_satisfied(l_s=2.0, o_s=1.0, d=4.0, delta=1.0)
+
+
+def test_theorem_preconditions_enforced():
+    with pytest.raises(ValueError):
+        # nested subtrees not strictly smaller
+        theorem1_gap_bound_holds(1.0, 1.0, [2.0], [0.5], d=10.0, delta=5.0)
+    with pytest.raises(ValueError):
+        # delta guard rejects s
+        theorem1_gap_bound_holds(5.0, 5.0, [1.0], [1.0], d=0.0, delta=0.1)
+
+
+@st.composite
+def theorem_instance(draw):
+    """Random instance satisfying Theorem 1's hypotheses."""
+    n = draw(st.integers(1, 6))
+    nested_l = [draw(st.floats(0.0, 10.0)) for _ in range(n)]
+    nested_o = [draw(st.floats(0.0, 5.0)) for _ in range(n)]
+    l_s = sum(nested_l) + draw(st.floats(0.01, 20.0))
+    o_s = sum(nested_o) + draw(st.floats(0.01, 10.0))
+    d = draw(st.floats(0.0, 100.0))
+    # delta must admit migrating s: delta > 2*l_s + o_s - d  (and > 0)
+    slack = draw(st.floats(0.01, 50.0))
+    delta = max(2 * l_s + o_s - d, 0.0) + slack
+    return l_s, o_s, nested_l, nested_o, d, delta
+
+
+@given(theorem_instance())
+@settings(max_examples=500, deadline=None)
+def test_theorem1_bound_holds_on_random_instances(inst):
+    l_s, o_s, nested_l, nested_o, d, delta = inst
+    holds, gap = theorem1_gap_bound_holds(l_s, o_s, nested_l, nested_o, d, delta)
+    assert holds, f"gap {gap} violates -delta {-delta}"
+
+
+@given(theorem_instance())
+@settings(max_examples=200, deadline=None)
+def test_large_imbalance_makes_greedy_optimal(inst):
+    """Appendix A: when D >= 2*l_s + o_s the greedy choice is optimal."""
+    l_s, o_s, nested_l, nested_o, d, delta = inst
+    if d >= 2 * l_s + o_s:
+        b0 = greedy_benefit(l_s, o_s, d)
+        b1 = optimal_nested_benefit(nested_l, nested_o, d)
+        assert b0 >= b1 - 1e-12
+
+
+@given(
+    st.floats(0.0, 10.0),
+    st.floats(0.0, 5.0),
+    st.floats(0.0, 50.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_benefit_never_exceeds_load(l_s, o_s, d):
+    """Migrating s can never help by more than the load it moves."""
+    assert greedy_benefit(l_s, o_s, d) <= l_s + 1e-12

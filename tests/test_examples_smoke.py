@@ -1,0 +1,27 @@
+"""Smoke test: the quickstart example must run end-to-end as shipped."""
+
+import pathlib
+import subprocess
+import sys
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def test_quickstart_runs():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "C-Hash" in out.stdout
+    assert "aggregate throughput" in out.stdout
+
+
+def test_metaopt_planner_runs():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "metaopt_planner.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "migration plan" in out.stdout
+    assert "JCT improvement" in out.stdout

@@ -1,0 +1,69 @@
+"""Fault-injection tests: balancers must route around a degraded MDS."""
+
+import numpy as np
+import pytest
+
+from repro.balancers import CoarseHashPolicy, LunulePolicy
+from repro.costmodel import CostParams
+from repro.fs import SimConfig
+from repro.fs.faults import Slowdown, SlowdownInjector
+from repro.fs.filesystem import OrigamiFS
+from repro.sim import SeedSequenceFactory
+from repro.workloads import generate_trace_rw
+
+
+def run_with_faults(policy, slowdowns, seed=0, n_ops=30000):
+    built, trace = generate_trace_rw(SeedSequenceFactory(seed).stream("w"), n_ops=n_ops)
+    cfg = SimConfig(n_mds=4, n_clients=100, epoch_ms=80.0, params=CostParams(cache_depth=2))
+    fs = OrigamiFS(built.tree, trace, policy, cfg)
+    if slowdowns:
+        SlowdownInjector(fs, slowdowns)
+    return fs.run()
+
+
+def test_slowdown_validation():
+    with pytest.raises(ValueError):
+        Slowdown(mds=0, start_ms=0, end_ms=10, factor=0.5)
+    with pytest.raises(ValueError):
+        Slowdown(mds=0, start_ms=10, end_ms=5, factor=2.0)
+
+
+def test_injector_rejects_unknown_mds():
+    built, trace = generate_trace_rw(SeedSequenceFactory(0).stream("w"), n_ops=100)
+    fs = OrigamiFS(built.tree, trace, LunulePolicy(), SimConfig(n_mds=2, n_clients=2))
+    with pytest.raises(ValueError):
+        SlowdownInjector(fs, [Slowdown(mds=9, start_ms=0, end_ms=1, factor=2.0)])
+
+
+def test_factor_window():
+    built, trace = generate_trace_rw(SeedSequenceFactory(0).stream("w"), n_ops=100)
+    fs = OrigamiFS(built.tree, trace, LunulePolicy(), SimConfig(n_mds=2, n_clients=2))
+    inj = SlowdownInjector(fs, [Slowdown(mds=1, start_ms=10, end_ms=20, factor=3.0)])
+    assert inj.factor_for(1, 5.0) == 1.0
+    assert inj.factor_for(1, 15.0) == 3.0
+    assert inj.factor_for(1, 25.0) == 1.0
+    assert inj.factor_for(0, 15.0) == 1.0
+
+
+def test_slowdown_degrades_static_partitioning():
+    """A static hash cannot escape a degraded MDS: throughput must drop."""
+    healthy = run_with_faults(CoarseHashPolicy(), [], seed=4)
+    degraded = run_with_faults(
+        CoarseHashPolicy(),
+        [Slowdown(mds=0, start_ms=0.0, end_ms=1e9, factor=4.0)],
+        seed=4,
+    )
+    assert degraded.throughput_ops_per_sec < healthy.throughput_ops_per_sec * 0.9
+
+
+def test_balancer_routes_around_degraded_mds():
+    """A busy-time-driven balancer sheds load off the slow MDS."""
+    slow = [Slowdown(mds=0, start_ms=0.0, end_ms=1e9, factor=4.0)]
+    static = run_with_faults(CoarseHashPolicy(), slow, seed=5)
+    balanced = run_with_faults(LunulePolicy(), slow, seed=5)
+    # the reactive balancer must end with little load on the degraded server
+    share_static = static.total_qps_per_mds()[0] / static.ops_completed
+    share_balanced = balanced.total_qps_per_mds()[0] / balanced.ops_completed
+    assert share_balanced < share_static
+    # ...and the migrations must actually have happened
+    assert balanced.migrations > 0

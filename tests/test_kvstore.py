@@ -1,0 +1,193 @@
+"""Unit tests for the LSM key-value store."""
+
+import pytest
+
+from repro.kvstore import LSMStore, MemTable, SSTable
+from repro.kvstore.memtable import TOMBSTONE
+from repro.kvstore.sstable import merge_runs
+
+
+# ------------------------------------------------------------------ memtable
+
+
+def test_memtable_put_get():
+    m = MemTable()
+    m.put(b"k1", b"v1")
+    assert m.get(b"k1") == b"v1"
+    assert m.get(b"missing") is None
+    assert len(m) == 1
+
+
+def test_memtable_overwrite():
+    m = MemTable()
+    m.put(b"k", b"v1")
+    m.put(b"k", b"v2")
+    assert m.get(b"k") == b"v2"
+    assert len(m) == 1
+
+
+def test_memtable_delete_records_tombstone():
+    m = MemTable()
+    m.put(b"k", b"v")
+    m.delete(b"k")
+    assert m.get(b"k") == TOMBSTONE
+
+
+def test_memtable_scan_sorted_halfopen():
+    m = MemTable()
+    for k in (b"d", b"a", b"c", b"b"):
+        m.put(k, k.upper())
+    assert [k for k, _ in m.scan(b"a", b"c")] == [b"a", b"b"]
+    assert [k for k, _ in m.scan(b"", b"z")] == [b"a", b"b", b"c", b"d"]
+
+
+def test_memtable_type_check():
+    m = MemTable()
+    with pytest.raises(TypeError):
+        m.put("str", b"v")
+
+
+# ------------------------------------------------------------------- sstable
+
+
+def test_sstable_requires_sorted_unique():
+    with pytest.raises(ValueError):
+        SSTable([(b"b", b"1"), (b"a", b"2")])
+    with pytest.raises(ValueError):
+        SSTable([(b"a", b"1"), (b"a", b"2")])
+    with pytest.raises(ValueError):
+        SSTable([])
+
+
+def test_sstable_get_and_range():
+    t = SSTable([(b"a", b"1"), (b"c", b"3"), (b"e", b"5")])
+    assert t.get(b"c") == b"3"
+    assert t.get(b"b") is None
+    assert t.get(b"z") is None
+    assert t.min_key == b"a" and t.max_key == b"e"
+    assert list(t.scan(b"b", b"e")) == [(b"c", b"3")]
+    assert t.overlaps(b"d", b"f")
+    assert not t.overlaps(b"f", b"z")
+
+
+def test_merge_runs_newest_wins():
+    new = SSTable([(b"a", b"new"), (b"b", b"2")])
+    old = SSTable([(b"a", b"old"), (b"c", b"3")])
+    merged = dict(merge_runs([new, old]))
+    assert merged == {b"a": b"new", b"b": b"2", b"c": b"3"}
+
+
+def test_merge_runs_tombstone_handling():
+    new = SSTable([(b"a", TOMBSTONE)])
+    old = SSTable([(b"a", b"old"), (b"b", b"2")])
+    kept = dict(merge_runs([new, old], drop_tombstones=False))
+    assert kept[b"a"] == TOMBSTONE
+    dropped = dict(merge_runs([new, old], drop_tombstones=True))
+    assert b"a" not in dropped and dropped[b"b"] == b"2"
+
+
+# ----------------------------------------------------------------- lsm store
+
+
+def test_lsm_basic_roundtrip():
+    s = LSMStore(memtable_limit=4)
+    for i in range(100):
+        s.put(f"key{i:04d}".encode(), f"val{i}".encode())
+    for i in range(100):
+        assert s.get(f"key{i:04d}".encode()) == f"val{i}".encode()
+    assert s.get(b"nope") is None
+    assert len(s) == 100
+
+
+def test_lsm_overwrite_across_flushes():
+    s = LSMStore(memtable_limit=2)
+    s.put(b"k", b"v1")
+    s.put(b"x1", b"pad")  # trigger flush
+    s.put(b"k", b"v2")
+    s.put(b"x2", b"pad")  # trigger flush
+    s.put(b"k", b"v3")
+    assert s.get(b"k") == b"v3"
+
+
+def test_lsm_delete_shadows_older_runs():
+    s = LSMStore(memtable_limit=2)
+    s.put(b"gone", b"v")
+    s.put(b"pad1", b"p")  # flush with 'gone'
+    s.delete(b"gone")
+    s.put(b"pad2", b"p")  # flush with tombstone
+    assert s.get(b"gone") is None
+    assert not s.contains(b"gone")
+    live = dict(s.scan(b"", b"\xff"))
+    assert b"gone" not in live
+
+
+def test_lsm_scan_merges_all_sources():
+    s = LSMStore(memtable_limit=3)
+    keys = [f"{i:03d}".encode() for i in range(50)]
+    for k in keys:
+        s.put(k, b"v" + k)
+    got = [k for k, _ in s.scan(b"010", b"020")]
+    assert got == [f"{i:03d}".encode() for i in range(10, 20)]
+
+
+def test_lsm_scan_newest_value_wins():
+    s = LSMStore(memtable_limit=2)
+    s.put(b"a", b"old")
+    s.put(b"b", b"x")  # flush
+    s.put(b"a", b"new")
+    assert dict(s.scan(b"", b"z"))[b"a"] == b"new"
+
+
+def test_lsm_deep_compaction_preserves_data():
+    s = LSMStore(memtable_limit=4, runs_per_guard=2, level0_limit=2, max_levels=4)
+    n = 500
+    for i in range(n):
+        s.put(f"k{i:05d}".encode(), f"v{i}".encode())
+    # delete a slice, overwrite another
+    for i in range(0, 100):
+        s.delete(f"k{i:05d}".encode())
+    for i in range(100, 200):
+        s.put(f"k{i:05d}".encode(), b"overwritten")
+    assert s.stats.compactions > 0
+    for i in range(0, 100):
+        assert s.get(f"k{i:05d}".encode()) is None
+    for i in range(100, 200):
+        assert s.get(f"k{i:05d}".encode()) == b"overwritten"
+    for i in range(200, n):
+        assert s.get(f"k{i:05d}".encode()) == f"v{i}".encode()
+    assert len(s) == 400
+
+
+def test_lsm_stats_amplification():
+    s = LSMStore(memtable_limit=8, level0_limit=2)
+    for i in range(200):
+        s.put(f"k{i:05d}".encode(), b"x" * 20)
+    for i in range(200):
+        s.get(f"k{i:05d}".encode())
+    assert s.stats.puts == 200
+    assert s.stats.gets == 200
+    assert s.stats.flushes > 0
+    assert s.stats.read_amplification() >= 0.0
+    assert s.stats.write_amplification() >= 1.0
+
+
+def test_lsm_forced_flush():
+    s = LSMStore(memtable_limit=1000)
+    s.put(b"k", b"v")
+    assert len(s.level0) == 0
+    s.flush()
+    assert len(s.level0) == 1
+    assert s.get(b"k") == b"v"
+
+
+def test_lsm_run_count_bounded_by_guards():
+    s = LSMStore(memtable_limit=4, runs_per_guard=2, level0_limit=2)
+    for i in range(1000):
+        s.put(f"k{i:06d}".encode(), b"v")
+    # guarded compaction keeps the total run count far below flush count
+    assert s.run_count() < s.stats.flushes
+
+
+def test_lsm_invalid_params():
+    with pytest.raises(ValueError):
+        LSMStore(memtable_limit=0)

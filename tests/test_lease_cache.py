@@ -1,0 +1,72 @@
+"""Tests for the lease-cache alternative (the design the paper rejects)."""
+
+import numpy as np
+import pytest
+
+from repro.balancers import CoarseHashPolicy, SingleMdsPolicy
+from repro.costmodel import CostParams
+from repro.fs import SimConfig, run_simulation
+from repro.fs.cache import LeaseCache
+from repro.fs.filesystem import OrigamiFS
+from repro.namespace import NamespaceTree
+from repro.sim import SeedSequenceFactory
+from repro.workloads import generate_trace_ro, generate_trace_wi
+
+
+def test_lease_cache_unit_semantics():
+    tree = NamespaceTree()
+    d = tree.makedirs("/a/b")
+    c = LeaseCache(tree, ttl_ms=10.0, recall_cost_ms=0.5)
+    assert not c.covers(d, now=0.0)      # miss
+    c.grant(d, now=0.0)
+    assert c.covers(d, now=5.0)          # hit within TTL
+    assert not c.covers(d, now=15.0)     # expired
+    c.grant(d, now=20.0)
+    assert c.recall_if_leased(d, now=21.0) == 0.5   # live lease -> recall cost
+    assert c.recall_if_leased(d, now=21.0) == 0.0   # already recalled
+    assert c.recalls == 1
+    assert 0 < c.hit_rate < 1
+
+
+def test_lease_cache_validation():
+    tree = NamespaceTree()
+    with pytest.raises(ValueError):
+        LeaseCache(tree, ttl_ms=0)
+    with pytest.raises(ValueError):
+        LeaseCache(tree, recall_cost_ms=-1)
+    with pytest.raises(ValueError):
+        SimConfig(cache_mode="bogus")
+
+
+def run_mode(kind, mode, seed=9, n_ops=20000):
+    gen = generate_trace_ro if kind == "ro" else generate_trace_wi
+    built, trace = gen(SeedSequenceFactory(seed).stream("w"), n_ops=n_ops)
+    cfg = SimConfig(
+        n_mds=4, n_clients=80, epoch_ms=80.0,
+        params=CostParams(cache_depth=2), cache_mode=mode,
+    )
+    fs = OrigamiFS(built.tree, trace, CoarseHashPolicy(), cfg)
+    return fs, fs.run()
+
+
+def test_lease_cache_shines_on_read_only():
+    """No mutations -> no recalls: leases beat the near-root cache on RPCs."""
+    _, near = run_mode("ro", "near-root")
+    fs_lease, lease = run_mode("ro", "lease")
+    assert isinstance(fs_lease.cache, LeaseCache)
+    assert fs_lease.cache.recalls == 0
+    assert lease.rpcs_per_request < near.rpcs_per_request
+
+
+def test_lease_cache_pays_for_writes():
+    """Write-heavy trace: recalls happen and the advantage shrinks/flips."""
+    fs_lease, lease = run_mode("wi", "lease")
+    assert fs_lease.cache.recalls > 0
+    # consistency work is real server busy time
+    _, none_run = run_mode("wi", "none")
+    assert lease.ops_completed == none_run.ops_completed
+
+
+def test_cache_mode_none_disables_coverage():
+    fs, r = run_mode("ro", "none", n_ops=5000)
+    assert r.cache_hit_rate == 0.0

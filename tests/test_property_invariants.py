@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) on core data-structure invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PartitionMap, imbalance_factor
+from repro.kvstore import LSMStore
+from repro.namespace import ROOT_INO, NamespaceTree
+
+SET = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ------------------------------------------------------------- namespace ops
+
+
+@st.composite
+def tree_operations(draw):
+    """A random sequence of namespace mutations (by construction valid)."""
+    n = draw(st.integers(1, 60))
+    ops = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["mkdir", "create", "remove", "rename"]))
+        ops.append((kind, draw(st.integers(0, 10**6)), f"e{i}"))
+    return ops
+
+
+def apply_ops(ops):
+    tree = NamespaceTree()
+    dirs = [ROOT_INO]
+    files = []
+    for kind, pick, name in ops:
+        if kind == "mkdir":
+            parent = dirs[pick % len(dirs)]
+            dirs.append(tree.create_dir(parent, name))
+        elif kind == "create":
+            parent = dirs[pick % len(dirs)]
+            files.append(tree.create_file(parent, name))
+        elif kind == "remove" and files:
+            ino = files.pop(pick % len(files))
+            tree.remove(ino)
+        elif kind == "rename" and files:
+            ino = files[pick % len(files)]
+            dest = dirs[pick % len(dirs)]
+            try:
+                tree.rename(ino, dest, name + "_r")
+            except FileExistsError:
+                pass
+    return tree, dirs
+
+
+@given(tree_operations())
+@SET
+def test_tree_internal_consistency_under_random_mutations(ops):
+    tree, _ = apply_ops(ops)
+    tree.validate()  # asserts all counters/links/depths
+
+
+@given(tree_operations())
+@SET
+def test_path_roundtrip_for_every_live_inode(ops):
+    tree, _ = apply_ops(ops)
+    for ino in range(tree.capacity):
+        if not tree.is_alive(ino):
+            continue
+        assert tree.lookup(tree.path_of(ino)) == ino
+
+
+@given(tree_operations())
+@SET
+def test_dfs_index_intervals_partition_the_dirs(ops):
+    tree, _ = apply_ops(ops)
+    idx = tree.dfs_index()
+    # preorder positions are a permutation of 0..num_dirs-1
+    tins = sorted(int(idx.tin[d]) for d in tree.iter_dirs())
+    assert tins == list(range(tree.num_dirs))
+    # child intervals nest strictly inside parents
+    for d in tree.iter_dirs():
+        if d == ROOT_INO:
+            continue
+        p = tree.parent(d)
+        assert idx.tin[p] < idx.tin[d]
+        assert idx.tout[d] <= idx.tout[p]
+
+
+@given(tree_operations(), st.integers(2, 5), st.data())
+@SET
+def test_partition_subtree_migration_invariants(ops, n_mds, data):
+    tree, dirs = apply_ops(ops)
+    pmap = PartitionMap(tree, n_mds=n_mds)
+    live_dirs = [d for d in tree.iter_dirs()]
+    n_moves = data.draw(st.integers(0, 6))
+    for _ in range(n_moves):
+        root = data.draw(st.sampled_from(live_dirs))
+        dst = data.draw(st.integers(0, n_mds - 1))
+        pmap.migrate_subtree(root, dst)
+        # after the move the whole subtree is uniformly owned by dst
+        for d in tree.iter_subtree_dirs(root):
+            assert pmap.owner(d) == dst
+    # every live dir has a valid owner; dead inos have none
+    arr = pmap.owner_array()
+    for ino in range(tree.capacity):
+        if tree.is_alive(ino) and tree.is_dir(ino):
+            assert 0 <= arr[ino] < n_mds
+        else:
+            assert arr[ino] == -1
+    # ownership accounting is conserved
+    assert pmap.dirs_per_mds().sum() == tree.num_dirs
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=20))
+@SET
+def test_imbalance_factor_bounds(loads):
+    v = imbalance_factor(loads)
+    assert 0.0 <= v <= 1.0 + 1e-12
+
+
+@given(st.lists(st.floats(0.1, 1e6), min_size=2, max_size=12), st.floats(1.01, 3.0))
+@SET
+def test_imbalance_factor_scaling_invariant(loads, k):
+    assert imbalance_factor(loads) == pytest.approx(
+        imbalance_factor([x * k for x in loads])
+    )
+
+
+# ------------------------------------------------------------------ lsm store
+
+
+@st.composite
+def kv_commands(draw):
+    n = draw(st.integers(1, 120))
+    cmds = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["put", "put", "put", "delete", "overwrite"]))
+        key = draw(st.integers(0, 40))
+        cmds.append((kind, key, draw(st.integers(0, 10**9))))
+    return cmds
+
+
+@given(kv_commands(), st.integers(2, 16))
+@SET
+def test_lsm_matches_dict_model(cmds, memtable_limit):
+    store = LSMStore(memtable_limit=memtable_limit, runs_per_guard=2, level0_limit=2)
+    model = {}
+    known = set()
+    for kind, key, val in cmds:
+        k = b"k%04d" % key
+        known.add(k)
+        if kind == "delete":
+            store.delete(k)
+            model.pop(k, None)
+        else:
+            v = b"v%d" % val
+            store.put(k, v)
+            model[k] = v
+    for k in known:
+        assert store.get(k) == model.get(k)
+    assert dict(store.scan(b"", b"z")) == model
+
+
+@given(kv_commands())
+@SET
+def test_lsm_scan_always_sorted(cmds):
+    store = LSMStore(memtable_limit=4)
+    for kind, key, val in cmds:
+        k = b"k%04d" % key
+        if kind == "delete":
+            store.delete(k)
+        else:
+            store.put(k, b"v%d" % val)
+    keys = [k for k, _ in store.scan(b"", b"z")]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))

@@ -1,0 +1,294 @@
+"""Unit tests for the DES kernel: events, ordering, timeouts, run horizon."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_timeout_fires_at_delay():
+    env = Environment()
+    seen = []
+
+    def proc():
+        yield env.timeout(5.0)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [5.0]
+
+
+def test_timeout_value_passed_through():
+    env = Environment()
+    got = []
+
+    def proc():
+        v = yield env.timeout(1.0, value="payload")
+        got.append(v)
+
+    env.process(proc())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def make(tag):
+        def proc():
+            yield env.timeout(3.0)
+            order.append(tag)
+
+        return proc
+
+    for tag in range(10):
+        env.process(make(tag)())
+    env.run()
+    assert order == list(range(10))
+
+
+def test_run_until_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10.0)
+
+    env.process(proc())
+    env.run(until=35.0)
+    assert env.now == 35.0
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=0.0)
+    with pytest.raises(ValueError):
+        env.run(until=-1.0)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter():
+        v = yield ev
+        got.append((env.now, v))
+
+    def firer():
+        yield env.timeout(7.0)
+        ev.succeed(42)
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert got == [(7.0, 42)]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as e:
+            caught.append(str(e))
+
+    def firer():
+        yield env.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_failed_event_without_waiter_propagates():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("unobserved"))
+    with pytest.raises(RuntimeError, match="unobserved"):
+        env.run()
+
+
+def test_process_is_event_fork_join():
+    env = Environment()
+    results = []
+
+    def child(n):
+        yield env.timeout(n)
+        return n * 10
+
+    def parent():
+        c1 = env.process(child(3))
+        c2 = env.process(child(5))
+        r1 = yield c1
+        r2 = yield c2
+        results.append((r1, r2, env.now))
+
+    env.process(parent())
+    env.run()
+    assert results == [(30, 50, 5.0)]
+
+
+def test_wait_on_already_processed_event():
+    env = Environment()
+    results = []
+
+    def child():
+        yield env.timeout(1.0)
+        return "done"
+
+    def parent():
+        c = env.process(child())
+        yield env.timeout(10.0)
+        # child finished long ago; waiting must resume immediately
+        v = yield c
+        results.append((v, env.now))
+
+    env.process(parent())
+    env.run()
+    assert results == [("done", 10.0)]
+
+
+def test_all_of_collects_values():
+    env = Environment()
+    results = []
+
+    def child(n):
+        yield env.timeout(n)
+        return n
+
+    def parent():
+        kids = [env.process(child(n)) for n in (4.0, 2.0, 6.0)]
+        vals = yield env.all_of(kids)
+        results.append((vals, env.now))
+
+    env.process(parent())
+    env.run()
+    assert results == [([4.0, 2.0, 6.0], 6.0)]
+
+
+def test_any_of_returns_first():
+    env = Environment()
+    results = []
+
+    def child(n):
+        yield env.timeout(n)
+        return n
+
+    def parent():
+        kids = [env.process(child(n)) for n in (4.0, 2.0, 6.0)]
+        v = yield env.any_of(kids)
+        results.append((v, env.now))
+
+    env.process(parent())
+    env.run()
+    assert results == [(2.0, 2.0)]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    results = []
+
+    def parent():
+        vals = yield env.all_of([])
+        results.append(vals)
+
+    env.process(parent())
+    env.run()
+    assert results == [[]]
+
+
+def test_interrupt_raises_in_target():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+            log.append("completed")
+        except Interrupt as i:
+            log.append(("interrupted", i.cause, env.now))
+
+    def interrupter(target):
+        yield env.timeout(5.0)
+        target.interrupt(cause="deadline")
+
+    t = env.process(sleeper())
+    env.process(interrupter(t))
+    env.run()
+    assert log == [("interrupted", "deadline", 5.0)]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_yield_non_event_type_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_event_counter_and_peek():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        yield env.timeout(2.0)
+
+    env.process(proc())
+    assert env.peek() == 0.0  # bootstrap event
+    env.run()
+    assert env.events_processed >= 3
+    assert env.peek() == float("inf")
+
+
+def test_deterministic_replay():
+    def run_once():
+        env = Environment()
+        trace = []
+
+        def worker(tag, delays):
+            for d in delays:
+                yield env.timeout(d)
+                trace.append((tag, env.now))
+
+        env.process(worker("a", [1.0, 3.0, 2.0]))
+        env.process(worker("b", [2.0, 2.0, 2.0]))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()

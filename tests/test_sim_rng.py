@@ -1,0 +1,78 @@
+"""Determinism and independence of named RNG streams."""
+
+import numpy as np
+
+from repro.sim import SeedSequenceFactory
+
+
+def test_same_seed_same_stream():
+    a = SeedSequenceFactory(42).stream("network").random(10)
+    b = SeedSequenceFactory(42).stream("network").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    f = SeedSequenceFactory(42)
+    a = f.stream("network").random(1000)
+    b = f.stream("workload").random(1000)
+    assert not np.array_equal(a, b)
+    # statistically independent-ish: correlation near zero
+    assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+
+def test_different_seeds_differ():
+    a = SeedSequenceFactory(1).stream("x").random(10)
+    b = SeedSequenceFactory(2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_cached_continues_sequence():
+    f = SeedSequenceFactory(7)
+    first = f.stream("s").random(5)
+    second = f.stream("s").random(5)
+    # cached stream continues rather than restarting
+    assert not np.array_equal(first, second)
+
+
+def test_fresh_restarts_sequence():
+    f = SeedSequenceFactory(7)
+    first = f.stream("s").random(5)
+    f.stream("s").random(100)
+    restarted = f.fresh("s").random(5)
+    assert np.array_equal(first, restarted)
+
+
+def test_adding_stream_does_not_shift_existing():
+    f1 = SeedSequenceFactory(3)
+    a_only = f1.stream("a").random(20)
+
+    f2 = SeedSequenceFactory(3)
+    f2.stream("b").random(50)  # interleave another stream
+    a_with_b = f2.stream("a").random(20)
+    assert np.array_equal(a_only, a_with_b)
+
+
+def test_zipf_weights_normalised_and_decreasing():
+    f = SeedSequenceFactory(0)
+    w = f.stream("z").zipf_weights(100, 1.2)
+    assert abs(w.sum() - 1.0) < 1e-12
+    assert np.all(np.diff(w) < 0)
+
+
+def test_zipf_weights_alpha_zero_uniform():
+    w = SeedSequenceFactory(0).stream("z").zipf_weights(10, 0.0)
+    assert np.allclose(w, 0.1)
+
+
+def test_zipf_weights_invalid_n():
+    import pytest
+
+    with pytest.raises(ValueError):
+        SeedSequenceFactory(0).stream("z").zipf_weights(0, 1.0)
+
+
+def test_spawn_returns_all_names():
+    f = SeedSequenceFactory(0)
+    streams = f.spawn(["a", "b", "c"])
+    assert set(streams) == {"a", "b", "c"}
+    assert streams["a"] is f.stream("a")
