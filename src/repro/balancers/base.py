@@ -54,6 +54,18 @@ class EpochContext:
     #: material: online learners label it against the current partition,
     #: which is exactly the partition those ops ran under)
     completed_window: Optional["Trace"] = None
+    #: the run's observability bundle; policies post their scored candidate
+    #: sets to ``obs.audit`` (``note_candidates``) so the decision audit can
+    #: show what was *considered*, not just what moved.  None in offline
+    #: pipelines that construct contexts by hand.
+    obs: Optional[object] = None
+
+    def note_candidates(self, roots, predicted) -> None:
+        """Post the candidate set this epoch's policy scored to the audit
+        log (no-op when auditing is off)."""
+        audit = getattr(self.obs, "audit", None)
+        if audit is not None:
+            audit.note_candidates(self.epoch, roots, predicted)
 
 
 class BalancePolicy(abc.ABC):

@@ -50,4 +50,11 @@ class MetaOptOraclePolicy(BalancePolicy):
             stop_threshold=self.stop_threshold,
             max_migrations=self.max_migrations,
         )
+        if result.decisions:
+            # the "candidate set" of a search is what it chose to evaluate;
+            # log the chosen moves with their exact-JCT predicted benefits
+            ctx.note_candidates(
+                [d.subtree_root for d in result.decisions],
+                [d.predicted_benefit for d in result.decisions],
+            )
         return result.decisions

@@ -9,6 +9,10 @@ Commands:
 * ``train <rw|ro|wi>`` — run the label-generation + training pipeline and
   print model quality and Table-1 importances;
 * ``simulate <strategy> <workload>`` — one DES run, headline metrics printed;
+  ``--trace``/``--metrics``/``--audit`` export request spans (JSONL), a
+  metrics snapshot (JSON), and the balancer decision audit (JSONL);
+  ``--json`` dumps the full ``SimResult`` including per-epoch arrays;
+* ``report <trace.jsonl>`` — latency-decomposition report of a span trace;
 * ``plan <workload>`` — run Meta-OPT as an offline planner and print the
   migration plan.
 """
@@ -63,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default=None, choices=("smoke", "default", "full"))
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--json", dest="json_out", default=None, help="write report JSON here")
+    run.add_argument(
+        "--profile", action="store_true",
+        help="print wall-clock phase profile (workload gen / training / simulation)",
+    )
 
     wl = sub.add_parser("workload", help="generate a trace and describe it")
     wl.add_argument("kind", choices=("rw", "ro", "wi", "mdtest"))
@@ -84,6 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
     si.add_argument("--clients", type=int, default=300)
     si.add_argument("--seed", type=int, default=42)
     si.add_argument("--cache-depth", type=int, default=2)
+    si.add_argument("--kvstore", action="store_true",
+                    help="store inodes in per-MDS LSM stores (surfaces StoreStats)")
+    si.add_argument("--trace", dest="trace_out", default=None, metavar="PATH",
+                    help="write request spans as JSONL here")
+    si.add_argument("--metrics", dest="metrics_out", default=None, metavar="PATH",
+                    help="write a metrics-registry snapshot (JSON) here")
+    si.add_argument("--audit", dest="audit_out", default=None, metavar="PATH",
+                    help="write the balancer decision audit as JSONL here")
+    si.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                    help="write the full SimResult (incl. per-epoch arrays) here")
+
+    rp = sub.add_parser("report", help="latency-decomposition report of a span trace")
+    rp.add_argument("trace", help="span JSONL file written by `simulate --trace`")
 
     pl = sub.add_parser("plan", help="offline Meta-OPT migration plan")
     pl.add_argument("kind", choices=("rw", "ro", "wi"))
@@ -106,12 +127,20 @@ def _cmd_experiments() -> int:
 def _cmd_run(args) -> int:
     from repro.harness import experiments as E
     from repro.harness.config import get_scale
+    from repro.obs.profiling import PROFILER
 
     scale = get_scale(args.scale)
     fn = getattr(E, args.experiment)
-    out = fn(scale, seed=args.seed) if args.experiment != "theorem1_gap" else fn(seed=args.seed)
+    if args.profile:
+        PROFILER.enabled = True
+        PROFILER.reset()
+    with PROFILER.phase(f"experiment:{args.experiment}"):
+        out = fn(scale, seed=args.seed) if args.experiment != "theorem1_gap" else fn(seed=args.seed)
     rep = out[0] if isinstance(out, tuple) else out
     print(rep.render())
+    if args.profile:
+        print()
+        print(PROFILER.render())
     if args.json_out:
         with open(args.json_out, "w") as f:
             f.write(rep.to_json())
@@ -172,10 +201,21 @@ def _cmd_simulate(args) -> int:
     from repro.harness.experiments import build_workload, make_policy
     from repro.costmodel import CostParams
     from repro.fs import SimConfig, run_simulation
+    from repro.obs import Observability
 
     scale = get_scale()
     built, trace = build_workload(args.kind, args.ops, args.seed)
     policy, default_mds = make_policy(args.strategy, args.kind, scale)
+    want_obs = args.trace_out or args.metrics_out or args.audit_out
+    obs = (
+        Observability(
+            metrics=args.metrics_out is not None,
+            trace_path=args.trace_out,
+            audit=args.audit_out is not None or args.metrics_out is not None,
+        )
+        if want_obs
+        else None
+    )
     config = SimConfig(
         n_mds=args.mds if args.strategy != "Single" else 1,
         n_clients=args.clients,
@@ -183,6 +223,8 @@ def _cmd_simulate(args) -> int:
         params=CostParams(cache_depth=args.cache_depth),
         seed=args.seed,
         oracle_window_ops=9000,
+        use_kvstore=args.kvstore,
+        obs=obs,
     )
     r = run_simulation(built.tree, trace, policy, config)
     imb = r.imbalance()
@@ -195,6 +237,47 @@ def _cmd_simulate(args) -> int:
     print(f"migrations          : {r.migrations} ({r.inodes_migrated:,} inodes)")
     print(f"imbalance QPS/Busy  : {imb.qps:.2f} / {imb.busytime:.2f}")
     print(f"cache hit rate      : {r.cache_hit_rate:.1%}")
+    if r.kvstore is not None:
+        kv = r.kvstore
+        print(f"kvstore gets/puts   : {int(kv['gets']):,} / {int(kv['puts']):,} "
+              f"({int(kv['compactions'])} compactions, {int(kv['run_count'])} runs)")
+        print(f"kvstore read/write amplification : "
+              f"{kv['read_amplification']:.2f} / {kv['write_amplification']:.2f}")
+    if obs is not None:
+        obs.close()
+        if obs.audit is not None and obs.audit.entries:
+            s = obs.audit.summary()
+            print(f"balancer audit      : {s['migrations']} migrations "
+                  f"({s['resolved']} resolved), predicted {s['mean_predicted_ms']:.2f} ms "
+                  f"vs realized {s['mean_realized_ms']:.2f} ms, "
+                  f"sign agreement {s['sign_agreement']:.0%}")
+        if args.trace_out:
+            print(f"[trace written to {args.trace_out}]")
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as f:
+                json.dump(obs.metrics_snapshot(), f, indent=2)
+                f.write("\n")
+            print(f"[metrics written to {args.metrics_out}]")
+        if args.audit_out and obs.audit is not None:
+            obs.audit.write(args.audit_out)
+            print(f"[audit written to {args.audit_out}]")
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(r.to_dict(), f, indent=2)
+            f.write("\n")
+        print(f"[json written to {args.json_out}]")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import load_spans, render_trace_report
+
+    try:
+        spans = load_spans(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_report(spans, source=args.trace))
     return 0
 
 
@@ -232,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_train(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "plan":
         return _cmd_plan(args)
     raise AssertionError("unreachable")

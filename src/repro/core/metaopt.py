@@ -46,6 +46,10 @@ class MetaOptResult:
     jct_after: float
     #: JCT after each applied decision (length == len(decisions))
     jct_history: List[float] = field(default_factory=list)
+    #: admissible (valid & improving & Δ-safe) candidate moves evaluated per
+    #: greedy iteration — the search's decision-audit trail; the final entry
+    #: is the iteration that found nothing and stopped
+    candidates_considered: List[int] = field(default_factory=list)
 
     @property
     def improvement(self) -> float:
@@ -84,9 +88,11 @@ def meta_opt(
     while max_migrations is None or len(result.decisions) < max_migrations:
         ledger = SubtreeLedger(trace, tree, work, params)
         best: Optional[Tuple[float, int, int, int]] = None  # (benefit, s, src, dst)
+        n_admissible = 0
         for dst in range(work.n_mds):
             ev = ledger.evaluate_dst(dst)
             mask = ev.valid & (ev.benefit > stop_threshold) & (ev.dst_minus_src < delta)
+            n_admissible += int(mask.sum())
             if not mask.any():
                 continue
             idx = np.nonzero(mask)[0]
@@ -99,6 +105,7 @@ def meta_opt(
                     int(ledger.cand_owner[j]),
                     dst,
                 )
+        result.candidates_considered.append(n_admissible)
         if best is None:
             break
         benefit, s, src, dst = best

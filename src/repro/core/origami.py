@@ -83,6 +83,7 @@ class OrigamiPolicy(BalancePolicy):
             return []
         X = FeatureExtractor(tree).extract(cands, ctx.snapshot)
         benefit = self.model.predict(X)
+        ctx.note_candidates(cands, benefit)
         sub_load = subtree_loads(ctx)
         # convert op counts to busy-ms so load bookkeeping shares units
         total_ops = float(ctx.snapshot.total_ops) or 1.0

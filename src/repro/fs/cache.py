@@ -63,6 +63,14 @@ class NearRootCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats_dict(self) -> Dict[str, float]:
+        """Counters for the metrics registry / run snapshot."""
+        return {
+            "hits_total": float(self.hits),
+            "misses_total": float(self.misses),
+            "hit_rate": self.hit_rate,
+        }
+
 
 class LeaseCache:
     """Full metadata cache under TTL leases (the design the paper avoids).
@@ -125,3 +133,13 @@ class LeaseCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Counters for the metrics registry / run snapshot (incl. leases)."""
+        return {
+            "hits_total": float(self.hits),
+            "misses_total": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "lease_grants_total": float(self.grants),
+            "lease_recalls_total": float(self.recalls),
+        }

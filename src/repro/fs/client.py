@@ -12,6 +12,11 @@ contacted MDS reads its share of the path's inodes plus one fake inode, the
 primary additionally pays ``T_exec`` and the op-specific extra.  With an
 uncontended server the client-observed latency reproduces the analytic RCT
 to float precision (asserted in tests/test_fs_parity.py).
+
+When tracing is enabled each operation carries a
+:class:`~repro.obs.tracing.Span` decomposing its latency into queue wait,
+MDS service, and network time; recording is passive (no RNG draws, no
+events), so traced runs replay bit-identically to untraced ones.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ class ClientWorker:
         self.ops_done = 0
 
     # ------------------------------------------------------------- planning
-    def _plan(self, op: int, dir_ino: int) -> Tuple[List[Tuple[int, int]], int]:
+    def _plan(self, op: int, dir_ino: int, span=None) -> Tuple[List[Tuple[int, int]], int]:
         """Plan the RPC sequence for a request targeting ``dir_ino``.
 
         Returns ``(visits, primary)`` where visits is an ordered list of
@@ -57,7 +62,11 @@ class ClientWorker:
         order: List[int] = []
         for d in chain:
             if cache.covers(d, now):
+                if span is not None:
+                    span.cache_hits += 1
                 continue
+            if span is not None:
+                span.cache_misses += 1
             cache.grant(d, now)  # fetched below; lease caches remember it
             o = int(owner_arr[d])
             if o not in reads:
@@ -77,7 +86,7 @@ class ClientWorker:
         return [(o, reads[o]) for o in order], primary
 
     # ------------------------------------------------------------ execution
-    def execute_op(self, i: int) -> Generator:
+    def execute_op(self, i: int, span=None) -> Generator:
         """Execute trace operation ``i``; returns the observed latency (ms)."""
         fs = self.fs
         env = fs.env
@@ -91,25 +100,34 @@ class ClientWorker:
             # the directory vanished under a concurrent mutation; count the
             # op as a cheap failed lookup at whatever server owns the parent
             fs.failed_ops += 1
+            if span is not None:
+                span.failed = True
             return 0.0
         cat = category_of(op)
         start = env.now
 
-        visits, primary = self._plan(op, dir_ino)
+        visits, primary = self._plan(op, dir_ino, span)
         pserver = fs.servers[primary]
         pserver.count_request()
+        if span is not None:
+            span.primary = primary
 
         for mds, n_reads in visits:
             server = fs.servers[mds]
             server.count_rpc()
             fs.total_rpcs += 1
             # network round trip to this MDS
-            yield env.timeout(fs.network_rtt())
+            rtt = fs.network_rtt()
+            if span is not None:
+                span.net_ms += rtt
+                span.rpcs += 1
+                span.mds_visited.append(mds)
+            yield env.timeout(rtt)
             # +1 fake/anchor inode read, plus the RPC handling cost itself
             service = params.t_inode * (n_reads + 1) + params.t_rpc
             if mds == primary:
                 service += params.t_exec(op)
-            yield from server.service(service)
+            yield from server.service(service, span)
 
         # ---- op-specific extras ----
         if cat == CATEGORY_LSDIR:
@@ -117,24 +135,33 @@ class ClientWorker:
             for o in others:
                 fs.servers[o].count_rpc()
                 fs.total_rpcs += 1
-                yield env.timeout(fs.network_rtt())
-                yield from fs.servers[o].service(params.t_rpc)
+                rtt = fs.network_rtt()
+                if span is not None:
+                    span.net_ms += rtt
+                    span.rpcs += 1
+                    span.mds_visited.append(o)
+                yield env.timeout(rtt)
+                yield from fs.servers[o].service(params.t_rpc, span)
             fs.stats.record_lsdir(dir_ino)
         elif cat == CATEGORY_NSMUT:
             # lease consistency: mutating a leased directory recalls the lease
             recall = fs.cache.recall_if_leased(dir_ino, env.now)
             if recall > 0:
-                yield from pserver.service(recall)
+                if span is not None:
+                    span.migration_recalls += 1
+                yield from pserver.service(recall, span)
             split_partner = self._split_partner(op, dir_ino, name, aux)
             if split_partner is not None:
                 fs.servers[split_partner].count_rpc()
                 fs.total_rpcs += 1
-                yield from pserver.service(params.t_coor)
+                if span is not None:
+                    span.rpcs += 1
+                yield from pserver.service(params.t_coor, span)
             self._apply_mutation(op, dir_ino, name, aux)
             fs.stats.record_write(dir_ino)
         else:
             if fs.use_kvstore:
-                pserver.kv_get(b"%020d/%s" % (dir_ino, name.encode()))
+                pserver.kv_get(b"%020d/%s" % (dir_ino, name.encode()), span)
             fs.stats.record_read(dir_ino)
 
         self.ops_done += 1
@@ -197,11 +224,32 @@ class ClientWorker:
     def run(self) -> Generator:
         """Closed-loop replay until the shared trace is exhausted."""
         fs = self.fs
+        tracer = fs.obs.tracer
+        tracing = tracer.enabled
+        m_ops = fs.m_ops
+        m_latency = fs.m_latency
         while True:
             i = fs.next_op_index()
             if i is None:
                 return
-            latency = yield from self.execute_op(i)
+            if tracing:
+                span = tracer.start(
+                    i,
+                    int(fs.trace.op[i]),
+                    self.worker_id,
+                    int(fs.trace.dir_ino[i]),
+                    int(fs.tree.depth(int(fs.trace.dir_ino[i])))
+                    if fs.tree.is_alive(int(fs.trace.dir_ino[i]))
+                    else -1,
+                    fs.env.now,
+                )
+            else:
+                span = None
+            latency = yield from self.execute_op(i, span)
+            if span is not None:
+                tracer.finish(span, fs.env.now)
             fs.latency.record(latency)
+            m_ops.inc()
+            m_latency.observe(latency)
             if fs.datapath is not None and fs.trace.op[i] in fs.DATA_OPS:
                 yield from fs.datapath.transfer(fs, int(fs.trace.dir_ino[i]))

@@ -6,6 +6,11 @@ plugged-in policy, and pipes the returned decisions through the Migrator.
 This is the pipeline that makes OrigamiFS "ML-native": the policy is an
 arbitrary external algorithm consuming collector dumps and emitting
 decisions.
+
+The driver is also where the balancer audit closes its loop: each epoch's
+load observation resolves the *realized* benefit of the previous epoch's
+migrations, and each applied decision batch is logged with the candidate
+set the policy scored (posted via ``EpochContext.obs``).
 """
 
 from __future__ import annotations
@@ -49,6 +54,10 @@ class EpochDriver:
             rpcs=rpcs,
             inodes=fs.pmap.inodes_per_mds().astype(np.float64),
         )
+        audit = fs.obs.audit
+        if audit is not None:
+            # this epoch's observed load resolves earlier epochs' migrations
+            audit.observe_epoch(em.epoch, em.busy_ms, em.duration_ms)
         self._last_flush_ms = now
         fs.epochs.append(em)
         self.epoch += 1
@@ -57,10 +66,13 @@ class EpochDriver:
     def run(self) -> Generator:
         fs = self.fs
         env = fs.env
+        audit = fs.obs.audit
+        m_epochs = fs.obs.registry.counter("epochs_total", "epoch boundaries crossed")
         while True:
             yield env.timeout(fs.config.epoch_ms)
             snapshot = fs.stats.snapshot_and_reset()
             em = self.flush_epoch()
+            m_epochs.inc()
             completed = fs.trace[self._last_cursor : fs.cursor]
             self._last_cursor = fs.cursor
             ctx = EpochContext(
@@ -73,11 +85,20 @@ class EpochDriver:
                 rng=fs.rng,
                 oracle_window=fs.upcoming(self.oracle_window_ops),
                 completed_window=completed,
+                obs=fs.obs,
             )
             decisions = self.policy.rebalance(ctx)
             if decisions:
                 before = fs.migrator.log.total_migrations
                 yield from fs.migrator.apply(decisions, epoch=em.epoch)
                 em.migrations = fs.migrator.log.total_migrations - before
+                if audit is not None and em.migrations:
+                    audit.record_decisions(
+                        em.epoch,
+                        em.busy_ms,
+                        em.duration_ms,
+                        fs.migrator.log.applied[before:],
+                        tree=fs.tree,
+                    )
             if fs.replay_done:
                 return

@@ -60,9 +60,9 @@ class SlowdownInjector:
             original = server.service
 
             def degraded(
-                duration_ms: float, _orig=original, _srv=server
+                duration_ms: float, span=None, _orig=original, _srv=server
             ) -> Generator:
                 factor = injector.factor_for(_srv.mds_id, fs.env.now)
-                yield from _orig(duration_ms * factor)
+                yield from _orig(duration_ms * factor, span)
 
             server.service = degraded  # type: ignore[method-assign]

@@ -31,6 +31,7 @@ from repro.fs.migrator import Migrator
 from repro.fs.server import MdsServer
 from repro.namespace.stats import AccessStats
 from repro.namespace.tree import NamespaceTree
+from repro.obs import NULL_OBS, Observability
 from repro.sim import Environment, SeedSequenceFactory
 from repro.workloads.trace import Trace
 
@@ -62,6 +63,10 @@ class SimConfig:
     oracle_window_ops: int = 5000
     #: attach a data cluster (kwargs for DataCluster) for end-to-end runs
     datapath: Optional[Dict] = None
+    #: observability bundle (metrics registry + tracer + balancer audit);
+    #: None means the shared all-disabled bundle — zero overhead, identical
+    #: behaviour (asserted by tests/test_obs_parity.py)
+    obs: Optional[Observability] = None
 
     def __post_init__(self):
         if self.n_mds < 1 or self.n_clients < 1:
@@ -95,6 +100,13 @@ class OrigamiFS:
         self.rng = ssf.stream("fs")
         self._net_rng = ssf.stream("network")
 
+        self.obs = self.config.obs if self.config.obs is not None else NULL_OBS
+        #: live per-op metrics children (no-op singletons when metrics off)
+        self.m_ops = self.obs.registry.counter("client_ops_total", "metadata ops completed")
+        self.m_latency = self.obs.registry.histogram(
+            "client_latency_ms", "client-observed metadata latency (ms)"
+        )
+
         self.pmap = policy.setup(tree, self.config.n_mds, ssf.stream("policy"))
         self.use_kvstore = self.config.use_kvstore
         self.servers = [
@@ -103,6 +115,7 @@ class OrigamiFS:
                 i,
                 service_concurrency=self.config.service_concurrency,
                 use_kvstore=self.use_kvstore,
+                registry=self.obs.registry,
             )
             for i in range(self.config.n_mds)
         ]
@@ -196,6 +209,19 @@ class OrigamiFS:
         duration = self.last_completion_ms
         if any(s.epoch_busy_ms > 0 or s.epoch_qps > 0 for s in self.servers):
             driver.flush_epoch()
+        self.obs.finalize(self)
+        kv_stats = None
+        if self.use_kvstore:
+            from repro.kvstore import StoreStats
+
+            agg = StoreStats()
+            total_runs = 0
+            for s in self.servers:
+                if s.store is not None:
+                    agg.merge(s.store.stats)
+                    total_runs += s.store.run_count()
+            kv_stats = agg.as_dict()
+            kv_stats["run_count"] = float(total_runs)
         return SimResult(
             strategy=self.policy.name,
             n_mds=self.config.n_mds,
@@ -213,6 +239,7 @@ class OrigamiFS:
             cache_hit_rate=self.cache.hit_rate,
             data_ops_completed=self.data_ops_completed,
             engine_events=self.env.events_processed,
+            kvstore=kv_stats,
         )
 
 

@@ -31,6 +31,18 @@ class EpochMetrics:
     #: migrations applied at this epoch boundary
     migrations: int = 0
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form (arrays become lists)."""
+        return {
+            "epoch": self.epoch,
+            "duration_ms": self.duration_ms,
+            "busy_ms": self.busy_ms.tolist(),
+            "qps": self.qps.tolist(),
+            "rpcs": self.rpcs.tolist(),
+            "inodes": self.inodes.tolist(),
+            "migrations": self.migrations,
+        }
+
 
 class LatencyRecorder:
     """Streaming latency statistics without keeping every sample.
@@ -95,6 +107,34 @@ class SimResult:
     data_ops_completed: int = 0
     #: events processed by the DES kernel (diagnostics)
     engine_events: int = 0
+    #: aggregated LSM StoreStats across MDSs (None when kvstore is off):
+    #: raw counters plus read/write amplification and total run count
+    kvstore: Optional[Dict[str, float]] = None
+
+    def to_dict(self) -> Dict:
+        """Full JSON-ready serialisation, including the per-epoch arrays."""
+        return {
+            "strategy": self.strategy,
+            "n_mds": self.n_mds,
+            "epoch_ms": self.epoch_ms,
+            "ops_completed": self.ops_completed,
+            "duration_ms": self.duration_ms,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "total_rpcs": self.total_rpcs,
+            "rpcs_per_request": self.rpcs_per_request,
+            "throughput_ops_per_sec": self.throughput_ops_per_sec,
+            "steady_state_throughput": self.steady_state_throughput(),
+            "migrations": self.migrations,
+            "inodes_migrated": self.inodes_migrated,
+            "failed_ops": self.failed_ops,
+            "cache_hit_rate": self.cache_hit_rate,
+            "data_ops_completed": self.data_ops_completed,
+            "engine_events": self.engine_events,
+            "kvstore": self.kvstore,
+            "per_epoch": [e.to_dict() for e in self.per_epoch],
+        }
 
     @property
     def throughput_ops_per_sec(self) -> float:

@@ -26,6 +26,10 @@ class Migrator:
         self.fs = fs
         self.cost_per_inode_ms = cost_per_inode_ms
         self.log = MigrationLog()
+        reg = fs.obs.registry
+        self._m_migrations = reg.counter("migrations_applied_total", "subtree moves applied")
+        self._m_inodes = reg.counter("migration_inodes_moved_total", "inodes relocated")
+        self._m_stale = reg.counter("migration_stale_total", "decisions dropped as stale")
 
     def apply(self, decisions: List[MigrationDecision], epoch: int) -> Generator:
         """Apply a batch of decisions; yields while charging migration time."""
@@ -37,10 +41,13 @@ class Migrator:
                 # the subtree moved (or vanished) since the policy looked;
                 # stale decisions are dropped, as in any async pipeline
                 fs.stale_decisions += 1
+                self._m_stale.inc()
                 continue
             if fs.use_kvstore:
                 self._move_records(d)
             rec = self.log.apply(fs.pmap, d, epoch=epoch)
+            self._m_migrations.inc()
+            self._m_inodes.inc(rec.inodes_moved)
             cost = rec.inodes_moved * self.cost_per_inode_ms
             if cost > 0:
                 # source packs, destination ingests — both are busy

@@ -6,6 +6,9 @@ the DES results exhibit Eq. (1)'s ``Q_i`` term without modelling it.
 
 Busy time, RPC counts, and request counts accumulate per epoch and are
 drained by the epoch driver into :class:`~repro.fs.metrics.EpochMetrics`.
+When observability is on, the same counters also publish into the metrics
+registry (labelled by MDS id) and :meth:`service` decomposes each visit into
+queue wait vs. service time on the caller's :class:`~repro.obs.tracing.Span`.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from typing import Generator, Optional
 import numpy as np
 
 from repro.kvstore import LSMStore
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.sim import Environment, Resource
 
 __all__ = ["MdsServer"]
@@ -29,6 +33,7 @@ class MdsServer:
         mds_id: int,
         service_concurrency: int = 1,
         use_kvstore: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.mds_id = mds_id
@@ -41,22 +46,46 @@ class MdsServer:
         # run-scoped totals
         self.total_busy_ms = 0.0
         self.total_rpcs = 0
+        # live metrics children (no-op singletons when the registry is off)
+        reg = registry if registry is not None else NULL_REGISTRY
+        label = str(mds_id)
+        self._m_rpcs = reg.counter("mds_rpcs_live_total", "RPCs handled (live)").labels(mds=label)
+        self._m_requests = reg.counter(
+            "mds_requests_live_total", "requests with this MDS as primary (live)"
+        ).labels(mds=label)
+        self._m_busy = reg.counter(
+            "mds_busy_ms_live_total", "service busy-ms accumulated (live)"
+        ).labels(mds=label)
 
     def count_rpc(self, n: int = 1) -> None:
         self.epoch_rpcs += n
         self.total_rpcs += n
+        self._m_rpcs.inc(n)
 
     def count_request(self) -> None:
         self.epoch_qps += 1
+        self._m_requests.inc()
 
-    def service(self, duration_ms: float) -> Generator:
-        """Queue for the server thread, hold it for ``duration_ms``."""
+    def service(self, duration_ms: float, span=None) -> Generator:
+        """Queue for the server thread, hold it for ``duration_ms``.
+
+        When a :class:`~repro.obs.tracing.Span` is supplied the queue wait
+        (time between requesting the worker slot and being granted it) and
+        the service hold are added to it — measurement only, no extra events.
+        """
         with self.resource.request() as req:
-            yield req
+            if span is not None:
+                enqueued_at = self.env.now
+                yield req
+                span.queue_ms += self.env.now - enqueued_at
+                span.service_ms += duration_ms
+            else:
+                yield req
             if duration_ms > 0:
                 yield self.env.timeout(duration_ms)
             self.epoch_busy_ms += duration_ms
             self.total_busy_ms += duration_ms
+            self._m_busy.inc(duration_ms)
 
     def drain_epoch(self) -> tuple:
         """Return and reset this epoch's (busy, rpcs, qps)."""
@@ -75,7 +104,14 @@ class MdsServer:
         if self.store is not None:
             self.store.delete(key)
 
-    def kv_get(self, key: bytes) -> Optional[bytes]:
-        if self.store is not None:
+    def kv_get(self, key: bytes, span=None) -> Optional[bytes]:
+        if self.store is None:
+            return None
+        if span is None:
             return self.store.get(key)
-        return None
+        stats = self.store.stats
+        probes_before = stats.runs_probed
+        value = self.store.get(key)
+        span.kv_gets += 1
+        span.kv_probes += stats.runs_probed - probes_before
+        return value

@@ -35,6 +35,7 @@ from repro.harness.config import ExperimentScale, default_params, get_scale
 from repro.harness.report import Report
 from repro.ml.dataset import FEATURE_NAMES
 from repro.ml.importance import rank_features
+from repro.obs.profiling import PROFILER
 from repro.sim import SeedSequenceFactory
 from repro.training import collect_training_data, train_models, train_origami_model
 from repro.workloads import (
@@ -79,7 +80,8 @@ def build_workload(kind: str, n_ops: int, seed: int):
     """Deterministically (re)build a workload; a fresh tree every call, since
     DES runs mutate the namespace."""
     ssf = SeedSequenceFactory(seed)
-    return _WORKLOADS[kind](ssf.stream(f"workload-{kind}"), n_ops=n_ops)
+    with PROFILER.phase("build_workload"):
+        return _WORKLOADS[kind](ssf.stream(f"workload-{kind}"), n_ops=n_ops)
 
 
 @functools.lru_cache(maxsize=16)
@@ -88,15 +90,16 @@ def origami_model(kind: str, scale_name: str, seed: int = 7):
     scale = get_scale(scale_name)
     params = default_params()
     built, trace = build_workload(kind, scale.train_ops, seed)
-    dataset, _ = collect_training_data(
-        built.tree,
-        trace,
-        n_mds=5,
-        params=params,
-        delta=50.0,
-        ops_per_epoch=scale.train_epoch_ops,
-    )
-    return train_origami_model(dataset, n_estimators=scale.gbdt_rounds)
+    with PROFILER.phase("train_model"):
+        dataset, _ = collect_training_data(
+            built.tree,
+            trace,
+            n_mds=5,
+            params=params,
+            delta=50.0,
+            ops_per_epoch=scale.train_epoch_ops,
+        )
+        return train_origami_model(dataset, n_estimators=scale.gbdt_rounds)
 
 
 def make_policy(name: str, kind: str, scale: ExperimentScale):
@@ -158,7 +161,8 @@ def run_strategy(
         oracle_window_ops=9000,
         datapath=datapath,
     )
-    return run_simulation(built.tree, trace, policy, config)
+    with PROFILER.phase(f"simulate:{name}"):
+        return run_simulation(built.tree, trace, policy, config)
 
 
 # =====================================================================

@@ -53,6 +53,34 @@ class StoreStats:
             else 0.0
         )
 
+    def merge(self, other: "StoreStats") -> None:
+        """Fold another store's counters into this one (cluster aggregation)."""
+        self.puts += other.puts
+        self.gets += other.gets
+        self.deletes += other.deletes
+        self.scans += other.scans
+        self.flushes += other.flushes
+        self.compactions += other.compactions
+        self.runs_probed += other.runs_probed
+        self.bytes_flushed += other.bytes_flushed
+        self.bytes_compacted += other.bytes_compacted
+
+    def as_dict(self) -> Dict[str, float]:
+        """Raw counters plus derived amplifications (metrics/JSON surfacing)."""
+        return {
+            "puts": float(self.puts),
+            "gets": float(self.gets),
+            "deletes": float(self.deletes),
+            "scans": float(self.scans),
+            "flushes": float(self.flushes),
+            "compactions": float(self.compactions),
+            "runs_probed": float(self.runs_probed),
+            "bytes_flushed": float(self.bytes_flushed),
+            "bytes_compacted": float(self.bytes_compacted),
+            "read_amplification": self.read_amplification(),
+            "write_amplification": self.write_amplification(),
+        }
+
 
 class _Guard:
     """A key-range bucket within a level holding overlapping runs (newest first)."""

@@ -1,0 +1,202 @@
+"""Balancer decision audit: predicted vs. *realized* migration benefit.
+
+Training metrics (RMSE, Spearman) say how well the model fits Meta-OPT's
+labels; they say nothing about whether a migration helped the cluster it ran
+on.  The audit closes that loop per run:
+
+* when a policy's decisions are applied at an epoch boundary, each applied
+  migration becomes an :class:`AuditEntry` carrying the candidate-set
+  summary the policy evaluated, the model- (or Meta-OPT-) predicted benefit,
+  and the per-MDS load of the epoch that triggered the decision;
+* at the *next* epoch boundary the entry is resolved: the realized benefit
+  is the drop in the cluster's bottleneck load (max per-MDS busy-ms, the
+  JCT proxy the whole paper optimises), normalised to the decision epoch's
+  duration and shared equally among that epoch's migrations.
+
+A positive realized benefit means the bottleneck actually shrank; persistent
+negative values with large predictions are exactly the model-drift signal
+production balancers need (MIDAS makes the same argument for per-path
+telemetry).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["AuditEntry", "BalancerAudit"]
+
+
+@dataclass
+class AuditEntry:
+    """One applied migration awaiting (or holding) its realized outcome."""
+
+    epoch: int
+    subtree_root: int
+    path: str
+    src: int
+    dst: int
+    predicted_benefit_ms: float
+    inodes_moved: int
+    #: number of candidate subtrees the policy scored this epoch (-1 unknown)
+    candidate_count: int
+    #: top candidates by predicted benefit: [(root, predicted), ...]
+    top_candidates: List[List[float]]
+    #: per-MDS busy-ms of the epoch that triggered the decision
+    load_before: List[float]
+    duration_before_ms: float
+    #: filled in at the next epoch boundary
+    load_after: Optional[List[float]] = None
+    duration_after_ms: Optional[float] = None
+    realized_benefit_ms: Optional[float] = None
+    #: bottleneck drop of the whole epoch (shared across its migrations)
+    epoch_realized_benefit_ms: Optional[float] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.realized_benefit_ms is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "subtree_root": self.subtree_root,
+            "path": self.path,
+            "src": self.src,
+            "dst": self.dst,
+            "predicted_benefit_ms": self.predicted_benefit_ms,
+            "inodes_moved": self.inodes_moved,
+            "candidate_count": self.candidate_count,
+            "top_candidates": self.top_candidates,
+            "load_before": self.load_before,
+            "duration_before_ms": self.duration_before_ms,
+            "load_after": self.load_after,
+            "duration_after_ms": self.duration_after_ms,
+            "realized_benefit_ms": self.realized_benefit_ms,
+            "epoch_realized_benefit_ms": self.epoch_realized_benefit_ms,
+        }
+
+
+class BalancerAudit:
+    """Decision log filled by the epoch driver (and policies, for candidates)."""
+
+    def __init__(self, top_k: int = 8):
+        self.top_k = top_k
+        self.entries: List[AuditEntry] = []
+        self._pending: List[AuditEntry] = []
+        #: per-epoch candidate summaries posted by the policy before deciding
+        self._candidates: Dict[int, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------ policy side
+    def note_candidates(
+        self, epoch: int, roots: Sequence[int], predicted: Sequence[float]
+    ) -> None:
+        """Record the candidate set a policy scored this epoch.
+
+        ``roots``/``predicted`` are parallel; only the ``top_k`` best
+        predictions are retained verbatim (the count is kept exactly).
+        """
+        pairs = sorted(
+            zip((int(r) for r in roots), (float(p) for p in predicted)),
+            key=lambda rp: -rp[1],
+        )
+        self._candidates[epoch] = {
+            "count": len(pairs),
+            "top": [[r, p] for r, p in pairs[: self.top_k]],
+        }
+
+    # ------------------------------------------------------------ driver side
+    def record_decisions(
+        self,
+        epoch: int,
+        mds_load: Sequence[float],
+        duration_ms: float,
+        applied,
+        tree=None,
+    ) -> None:
+        """Log the migrations applied at this epoch boundary.
+
+        ``applied`` is a sequence of
+        :class:`~repro.cluster.migration.AppliedMigration`.
+        """
+        cand = self._candidates.get(epoch, {"count": -1, "top": []})
+        load = [float(v) for v in mds_load]
+        for rec in applied:
+            d = rec.decision
+            entry = AuditEntry(
+                epoch=epoch,
+                subtree_root=d.subtree_root,
+                path=tree.path_of(d.subtree_root) if tree is not None else "",
+                src=d.src,
+                dst=d.dst,
+                predicted_benefit_ms=float(d.predicted_benefit),
+                inodes_moved=rec.inodes_moved,
+                candidate_count=cand["count"],
+                top_candidates=cand["top"],
+                load_before=load,
+                duration_before_ms=float(duration_ms),
+            )
+            self.entries.append(entry)
+            self._pending.append(entry)
+
+    def observe_epoch(self, epoch: int, mds_load: Sequence[float], duration_ms: float) -> None:
+        """Resolve pending entries from earlier epochs against this epoch's load.
+
+        The realized benefit compares bottleneck (max per-MDS) busy *rates*
+        — busy-ms normalised by epoch duration — rescaled to the decision
+        epoch's duration so predicted and realized share units, then split
+        equally among the decision epoch's migrations.
+        """
+        load = [float(v) for v in mds_load]
+        duration_ms = float(duration_ms)
+        still_pending: List[AuditEntry] = []
+        by_epoch: Dict[int, List[AuditEntry]] = {}
+        for e in self._pending:
+            if e.epoch < epoch:
+                by_epoch.setdefault(e.epoch, []).append(e)
+            else:
+                still_pending.append(e)
+        for entries in by_epoch.values():
+            first = entries[0]
+            before_rate = max(first.load_before) / max(first.duration_before_ms, 1e-9)
+            after_rate = (max(load) / max(duration_ms, 1e-9)) if load else 0.0
+            epoch_benefit = (before_rate - after_rate) * first.duration_before_ms
+            share = epoch_benefit / len(entries)
+            for e in entries:
+                e.load_after = load
+                e.duration_after_ms = duration_ms
+                e.epoch_realized_benefit_ms = epoch_benefit
+                e.realized_benefit_ms = share
+        self._pending = still_pending
+
+    # --------------------------------------------------------------- export
+    @property
+    def total_migrations(self) -> int:
+        return len(self.entries)
+
+    def resolved_entries(self) -> List[AuditEntry]:
+        return [e for e in self.entries if e.resolved]
+
+    def summary(self) -> Dict[str, Any]:
+        resolved = self.resolved_entries()
+        n = len(resolved)
+        pred = [e.predicted_benefit_ms for e in resolved]
+        real = [e.realized_benefit_ms for e in resolved]
+        agree = sum(1 for p, r in zip(pred, real) if (p > 0) == (r > 0))
+        return {
+            "migrations": len(self.entries),
+            "resolved": n,
+            "mean_predicted_ms": sum(pred) / n if n else 0.0,
+            "mean_realized_ms": sum(real) / n if n else 0.0,
+            "sign_agreement": agree / n if n else 0.0,
+        }
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self.entries]
+
+    def write(self, path: str) -> None:
+        """One JSON line per migration, chronological."""
+        with open(path, "w") as f:
+            for e in self.entries:
+                f.write(json.dumps(e.to_dict()))
+                f.write("\n")

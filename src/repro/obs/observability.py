@@ -1,0 +1,138 @@
+"""The observability bundle a simulation run carries.
+
+``SimConfig.obs`` takes one of these; :data:`NULL_OBS` (all components
+disabled) is what every existing call site gets implicitly, keeping the
+disabled path free and all prior behaviour unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.audit import BalancerAudit
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, JsonlTracer, Tracer
+
+__all__ = ["Observability", "NULL_OBS"]
+
+
+class Observability:
+    """Bundle of registry + tracer + audit handed to an :class:`OrigamiFS`.
+
+    Any subset may be enabled::
+
+        obs = Observability(metrics=True, trace_path="t.jsonl", audit=True)
+        cfg = SimConfig(obs=obs)
+        result = run_simulation(tree, trace, policy, cfg)
+        obs.close()                      # flush the trace file
+        obs.registry.write("m.json")     # metrics snapshot
+        obs.audit.write("audit.jsonl")   # balancer decision log
+    """
+
+    def __init__(
+        self,
+        metrics: bool = False,
+        trace_path: Optional[str] = None,
+        trace: bool = False,
+        trace_max_spans: Optional[int] = None,
+        audit: bool = False,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if registry is not None:
+            self.registry = registry
+        else:
+            self.registry = MetricsRegistry(enabled=True) if metrics else NULL_REGISTRY
+        if tracer is not None:
+            self.tracer = tracer
+        elif trace or trace_path is not None:
+            self.tracer = JsonlTracer(trace_path, max_spans=trace_max_spans)
+        else:
+            self.tracer = NULL_TRACER
+        self.audit: Optional[BalancerAudit] = BalancerAudit() if audit else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled or self.tracer.enabled or self.audit is not None
+
+    def close(self) -> None:
+        self.tracer.close()
+
+    # ------------------------------------------------------------- finalize
+    def finalize(self, fs: Any) -> None:
+        """Publish end-of-run state of every component into the registry.
+
+        Called once by :meth:`OrigamiFS.run`; zero cost when metrics are off.
+        Per-op counters (ops, latency, RPCs) accumulate live; everything a
+        component already tracks internally (engine calendar, resource wait
+        stats, cache hits, LSM amplification) is published here so the hot
+        paths pay nothing for it.
+        """
+        reg = self.registry
+        if not reg.enabled:
+            return
+        env = fs.env
+        reg.gauge("engine_events_total", "events processed by the DES kernel").set(
+            env.events_processed
+        )
+        reg.gauge("engine_peak_calendar_len", "peak event-calendar length").set(
+            env.peak_queue_len
+        )
+        reg.gauge("engine_virtual_time_ms", "final virtual clock").set(env.now)
+
+        busy = reg.gauge("mds_busy_ms_total", "virtual ms each MDS spent servicing")
+        rpcs = reg.gauge("mds_rpcs_total", "RPC messages handled per MDS")
+        wait = reg.gauge("mds_queue_wait_ms_total", "total queue wait at each MDS")
+        grants = reg.gauge("mds_queue_grants_total", "service slots granted per MDS")
+        peakq = reg.gauge("mds_queue_peak_len", "peak service-queue length per MDS")
+        for s in fs.servers:
+            label = str(s.mds_id)
+            busy.labels(mds=label).set(s.total_busy_ms)
+            rpcs.labels(mds=label).set(s.total_rpcs)
+            wait.labels(mds=label).set(s.resource.total_wait_time)
+            grants.labels(mds=label).set(s.resource.total_grants)
+            peakq.labels(mds=label).set(s.resource.peak_queue_len)
+
+        for name, value in fs.cache.stats_dict().items():
+            reg.gauge(f"cache_{name}", f"client cache {name}").set(value)
+
+        mig = fs.migrator.log
+        reg.gauge("migrations_total", "applied migrations").set(mig.total_migrations)
+        reg.gauge("migration_inodes_total", "inodes moved by migrations").set(
+            mig.total_inodes_moved
+        )
+        reg.gauge("migration_stale_decisions_total", "decisions dropped as stale").set(
+            fs.stale_decisions
+        )
+
+        if fs.use_kvstore:
+            for s in fs.servers:
+                if s.store is None:
+                    continue
+                label = str(s.mds_id)
+                for name, value in s.store.stats.as_dict().items():
+                    reg.gauge(f"kvstore_{name}", f"LSM store {name}").labels(
+                        mds=label
+                    ).set(value)
+
+        if self.audit is not None:
+            for name, value in self.audit.summary().items():
+                reg.gauge(f"balancer_{name}", f"audit {name}").set(value)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {"metrics": self.registry.snapshot()}
+        if self.audit is not None:
+            snap["balancer_audit"] = {
+                "summary": self.audit.summary(),
+                "entries": self.audit.to_dicts(),
+            }
+        if self.tracer.enabled:
+            snap["trace"] = {
+                "spans_dropped": self.tracer.dropped,
+                "path": getattr(self.tracer, "path", None),
+            }
+        return snap
+
+
+#: everything disabled — the implicit default for every simulation
+NULL_OBS = Observability()

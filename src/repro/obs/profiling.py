@@ -1,0 +1,65 @@
+"""Wall-clock phase profiling for the experiment harness.
+
+The DES measures *virtual* time; this measures *real* time — where a
+``repro run`` spends its wall clock (workload generation, model training,
+simulation, reporting).  Used via the module-level :data:`PROFILER` so the
+harness can be instrumented unconditionally while staying free when nobody
+enabled it (``repro run --profile``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["PhaseProfiler", "PROFILER"]
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds per named phase."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._elapsed: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._elapsed.clear()
+        self._calls.clear()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - start
+            self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def summary(self) -> List[Tuple[str, float, int]]:
+        """(phase, total seconds, calls), slowest first."""
+        return sorted(
+            ((n, s, self._calls[n]) for n, s in self._elapsed.items()),
+            key=lambda row: -row[1],
+        )
+
+    def render(self) -> str:
+        rows = self.summary()
+        if not rows:
+            return "[profile] no phases recorded"
+        total = sum(s for _, s, _ in rows)
+        lines = ["[profile] wall-clock phases:"]
+        for name, secs, calls in rows:
+            share = secs / total if total else 0.0
+            lines.append(f"  {name:24s} {secs:8.2f}s  {share:6.1%}  ({calls} calls)")
+        lines.append(f"  {'total':24s} {total:8.2f}s")
+        return "\n".join(lines)
+
+
+#: harness-wide profiler; ``repro run --profile`` flips ``enabled``
+PROFILER = PhaseProfiler(enabled=False)

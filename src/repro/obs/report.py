@@ -1,0 +1,169 @@
+"""Trace analysis: the latency-decomposition report behind ``repro report``.
+
+Reads a span JSONL file (or in-memory spans) and answers "where did the
+latency go": mean queue wait vs. MDS service vs. network, overall and per
+operation type, plus resolution/cache behaviour.  The decomposition is an
+identity — ``queue + service + net = latency`` per span — so the component
+means must sum to the mean latency; the report prints the residual and the
+CLI treats a residual above 1% as a tracing bug.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["Decomposition", "load_spans", "decompose", "render_trace_report"]
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Parse a span JSONL file (raises ValueError on malformed lines)."""
+    spans = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from None
+    return spans
+
+
+@dataclass
+class Decomposition:
+    """Aggregated latency components over a set of spans."""
+
+    n_spans: int = 0
+    n_failed: int = 0
+    latency_ms: float = 0.0
+    queue_ms: float = 0.0
+    service_ms: float = 0.0
+    net_ms: float = 0.0
+    rpcs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    kv_gets: int = 0
+    kv_probes: int = 0
+    by_op: Dict[str, "Decomposition"] = field(default_factory=dict)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_ms / self.n_spans if self.n_spans else 0.0
+
+    @property
+    def components_sum_ms(self) -> float:
+        return self.queue_ms + self.service_ms + self.net_ms
+
+    @property
+    def residual_fraction(self) -> float:
+        """|sum of components - total latency| / total latency."""
+        if self.latency_ms == 0:
+            return 0.0
+        return abs(self.components_sum_ms - self.latency_ms) / self.latency_ms
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def _add(self, span: Dict[str, Any]) -> None:
+        self.n_spans += 1
+        self.n_failed += 1 if span.get("failed") else 0
+        self.latency_ms += span["latency_ms"]
+        self.queue_ms += span["queue_ms"]
+        self.service_ms += span["service_ms"]
+        self.net_ms += span["net_ms"]
+        self.rpcs += span["rpcs"]
+        self.cache_hits += span["cache_hits"]
+        self.cache_misses += span["cache_misses"]
+        self.kv_gets += span.get("kv_gets", 0)
+        self.kv_probes += span.get("kv_probes", 0)
+
+
+def decompose(spans: Iterable[Dict[str, Any]]) -> Decomposition:
+    """Aggregate spans overall and per op type."""
+    total = Decomposition()
+    for span in spans:
+        total._add(span)
+        op = span.get("op", "?")
+        if op not in total.by_op:
+            total.by_op[op] = Decomposition()
+        total.by_op[op]._add(span)
+    return total
+
+
+def _component_rows(d: Decomposition) -> List[List[Any]]:
+    n = d.n_spans or 1
+    mean = d.mean_latency_ms or 1.0
+    rows = [
+        ["queue wait", d.queue_ms / n, d.queue_ms / n / mean],
+        ["MDS service", d.service_ms / n, d.service_ms / n / mean],
+        ["network (RPC)", d.net_ms / n, d.net_ms / n / mean],
+    ]
+    rows.append(
+        ["sum of components", d.components_sum_ms / n, d.components_sum_ms / n / mean]
+    )
+    rows.append(["client latency", d.mean_latency_ms, 1.0])
+    return rows
+
+
+def render_trace_report(spans: List[Dict[str, Any]], source: str = "") -> str:
+    """The full ``repro report`` text for a list of span dicts."""
+    from repro.harness.report import format_table
+
+    if not spans:
+        return "no spans found" + (f" in {source}" if source else "")
+    d = decompose(spans)
+    parts = []
+    head = f"=== trace report{' — ' + source if source else ''} ==="
+    parts.append(head)
+    parts.append(
+        f"{d.n_spans:,} spans ({d.n_failed} failed ops), "
+        f"mean latency {d.mean_latency_ms * 1000:.1f} us, "
+        f"{d.rpcs / d.n_spans:.3f} RPCs/req, "
+        f"cache hit rate {d.cache_hit_rate:.1%}"
+    )
+    rows = [[r[0], r[1] * 1000, f"{r[2]:.1%}"] for r in _component_rows(d)]
+    parts.append(
+        format_table(
+            ["component", "mean us/op", "share"],
+            rows,
+            "latency decomposition (queue vs. service vs. RPC)",
+        )
+    )
+    resid = d.residual_fraction
+    parts.append(
+        f"decomposition residual: {resid:.3%} of mean latency"
+        + (" (WITHIN 1% tolerance)" if resid <= 0.01 else " (EXCEEDS 1% tolerance!)")
+    )
+    op_rows = []
+    for op, od in sorted(d.by_op.items(), key=lambda kv: -kv[1].n_spans):
+        n = od.n_spans
+        op_rows.append(
+            [
+                op,
+                n,
+                od.mean_latency_ms * 1000,
+                od.queue_ms / n * 1000,
+                od.service_ms / n * 1000,
+                od.net_ms / n * 1000,
+                od.rpcs / n,
+                f"{od.cache_hit_rate:.1%}",
+            ]
+        )
+    parts.append(
+        format_table(
+            ["op", "spans", "lat us", "queue us", "service us", "net us", "rpc/req", "cache hit"],
+            op_rows,
+            "per-operation breakdown",
+        )
+    )
+    if d.kv_gets:
+        parts.append(
+            f"kvstore: {d.kv_gets:,} gets, {d.kv_probes:,} runs probed "
+            f"({d.kv_probes / d.kv_gets:.2f} probes/get)"
+        )
+    return "\n\n".join(parts)

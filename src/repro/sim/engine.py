@@ -204,6 +204,7 @@ class Environment:
         self._queue: list = []
         self._seq = 0
         self._event_count = 0
+        self._peak_queue = 0
 
     # -- clock ------------------------------------------------------------
     @property
@@ -215,6 +216,16 @@ class Environment:
     def events_processed(self) -> int:
         """Total number of events fired so far (diagnostics)."""
         return self._event_count
+
+    @property
+    def queue_len(self) -> int:
+        """Events currently on the calendar (diagnostics)."""
+        return len(self._queue)
+
+    @property
+    def peak_queue_len(self) -> int:
+        """High-water mark of the event calendar (memory-pressure signal)."""
+        return self._peak_queue
 
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
@@ -238,6 +249,8 @@ class Environment:
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if len(self._queue) > self._peak_queue:
+            self._peak_queue = len(self._queue)
 
     def _immediate(self, fn: Callable[[], None]) -> None:
         """Run ``fn`` as an urgent zero-delay event (keeps causality ordering)."""

@@ -54,6 +54,7 @@ class Resource:
         self._wait_started: dict = {}
         self.total_wait_time = 0.0
         self.total_grants = 0
+        self.peak_queue_len = 0
 
     @property
     def queue_len(self) -> int:
@@ -72,6 +73,8 @@ class Resource:
         else:
             self.waiters.append(req)
             self._wait_started[req] = self.env.now
+            if len(self.waiters) > self.peak_queue_len:
+                self.peak_queue_len = len(self.waiters)
         return req
 
     def release(self, req: _Request) -> None:

@@ -80,3 +80,64 @@ def test_experiments_list_includes_extensions(capsys):
     out = capsys.readouterr().out
     assert "ablation_online_learning" in out
     assert "ablation_cache_design" in out
+
+
+def test_simulate_with_observability_exports(tmp_path, capsys):
+    trace = str(tmp_path / "t.jsonl")
+    metrics = str(tmp_path / "m.json")
+    audit = str(tmp_path / "a.jsonl")
+    result = str(tmp_path / "r.json")
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "5000", "--mds", "3", "--clients", "20",
+        "--trace", trace, "--metrics", metrics, "--audit", audit, "--json", result,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "balancer audit" in out
+
+    spans = [json.loads(l) for l in open(trace)]
+    assert len(spans) == 5000
+    s = spans[0]
+    assert s["queue_ms"] + s["service_ms"] + s["net_ms"] == pytest.approx(s["latency_ms"])
+
+    blob = json.load(open(metrics))
+    assert "client_ops_total" in blob["metrics"]
+    assert blob["metrics"]["client_ops_total"]["series"][0]["value"] == 5000
+    assert blob["balancer_audit"]["summary"]["migrations"] >= 0
+
+    audits = [json.loads(l) for l in open(audit)]
+    assert all("predicted_benefit_ms" in a and "realized_benefit_ms" in a for a in audits)
+
+    full = json.load(open(result))
+    assert full["ops_completed"] == 5000
+    assert len(full["per_epoch"]) >= 1
+    assert full["per_epoch"][0]["busy_ms"]  # arrays serialized
+
+
+def test_simulate_kvstore_summary(capsys):
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "4000", "--mds", "3", "--clients", "20",
+        "--kvstore",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "read/write amplification" in out
+
+
+def test_report_command(tmp_path, capsys):
+    trace = str(tmp_path / "t.jsonl")
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "4000", "--mds", "3", "--clients", "20",
+        "--trace", trace,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["report", trace]) == 0
+    out = capsys.readouterr().out
+    assert "latency decomposition" in out
+    assert "WITHIN 1% tolerance" in out
+    assert "per-operation breakdown" in out
+
+
+def test_run_profile_flag(capsys):
+    assert main(["run", "fig2_even_partitioning", "--scale", "smoke", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "[profile] wall-clock phases" in out
+    assert "simulate:" in out

@@ -1,0 +1,63 @@
+"""LatencyRecorder: exact streaming moments + reservoir-sampled percentiles."""
+
+import numpy as np
+import pytest
+
+from repro.fs.metrics import LatencyRecorder
+
+
+def test_exact_below_capacity():
+    rec = LatencyRecorder(reservoir=100)
+    xs = np.linspace(1.0, 50.0, 50)
+    for x in xs:
+        rec.record(float(x))
+    assert rec.count == 50
+    assert rec.mean == pytest.approx(xs.mean())
+    assert rec.percentile(50) == pytest.approx(np.percentile(xs, 50))
+    assert rec.percentile(99) == pytest.approx(np.percentile(xs, 99))
+
+
+def test_count_and_mean_stay_exact_past_capacity():
+    rec = LatencyRecorder(reservoir=64, seed=1)
+    rng = np.random.default_rng(0)
+    xs = rng.exponential(2.0, size=5000)
+    for x in xs:
+        rec.record(float(x))
+    # the reservoir subsamples, but count/mean are streamed exactly
+    assert rec.count == 5000
+    assert rec.mean == pytest.approx(xs.mean(), rel=1e-12)
+
+
+def test_percentiles_within_tolerance_past_capacity():
+    rec = LatencyRecorder(reservoir=5000, seed=2)
+    rng = np.random.default_rng(3)
+    xs = rng.lognormal(mean=0.0, sigma=0.5, size=50_000)
+    for x in xs:
+        rec.record(float(x))
+    for q in (50, 90, 99):
+        true = np.percentile(xs, q)
+        est = rec.percentile(q)
+        assert est == pytest.approx(true, rel=0.1), f"p{q}"
+
+
+def test_seeded_determinism():
+    def fill(seed):
+        rec = LatencyRecorder(reservoir=32, seed=seed)
+        rng = np.random.default_rng(7)
+        for x in rng.uniform(0, 10, 1000):
+            rec.record(float(x))
+        return rec
+
+    a, b = fill(seed=5), fill(seed=5)
+    assert a.percentile(50) == b.percentile(50)
+    assert a.percentile(99) == b.percentile(99)
+    # a different reservoir seed may keep a different sample
+    c = fill(seed=6)
+    assert a.count == c.count and a.mean == c.mean  # exact stats unaffected
+
+
+def test_empty_recorder_is_zero():
+    rec = LatencyRecorder()
+    assert rec.count == 0
+    assert rec.mean == 0.0
+    assert rec.percentile(99) == 0.0

@@ -1,0 +1,124 @@
+"""Observability must be passive: tracing/metrics on == off, bit for bit.
+
+Spans and metrics draw no RNG values and schedule no events, so a fully
+instrumented run must produce the same SimResult headline numbers as an
+uninstrumented one — and the disabled path must stay cheap.
+"""
+
+import pytest
+
+from repro.balancers import LunulePolicy
+from repro.costmodel import CostParams
+from repro.fs import SimConfig, run_simulation
+from repro.obs import JsonlTracer, Observability
+from repro.sim import SeedSequenceFactory
+from repro.workloads import generate_trace_rw
+
+
+def _world(seed=0, n_ops=6000):
+    ssf = SeedSequenceFactory(seed)
+    return generate_trace_rw(ssf.stream("w"), n_ops=n_ops)
+
+
+def _config(obs=None, **kw):
+    return SimConfig(
+        n_mds=3,
+        n_clients=20,
+        epoch_ms=50.0,
+        params=CostParams(cache_depth=2),
+        seed=0,
+        obs=obs,
+        **kw,
+    )
+
+
+HEADLINE = (
+    "ops_completed",
+    "duration_ms",
+    "mean_latency_ms",
+    "p50_latency_ms",
+    "p99_latency_ms",
+    "total_rpcs",
+    "migrations",
+    "inodes_migrated",
+    "failed_ops",
+    "cache_hit_rate",
+    "engine_events",
+)
+
+
+def test_tracing_and_metrics_do_not_perturb_the_run():
+    built, trace = _world()
+    baseline = run_simulation(built.tree, trace, LunulePolicy(), _config(obs=None))
+
+    built2, trace2 = _world()
+    obs = Observability(metrics=True, trace=True, audit=True)
+    traced = run_simulation(built2.tree, trace2, LunulePolicy(), _config(obs=obs))
+
+    for name in HEADLINE:
+        assert getattr(traced, name) == getattr(baseline, name), name
+    for eb, et in zip(baseline.per_epoch, traced.per_epoch):
+        assert eb.duration_ms == et.duration_ms
+        assert (eb.busy_ms == et.busy_ms).all()
+        assert (eb.qps == et.qps).all()
+
+
+def test_span_decomposition_matches_client_latency():
+    built, trace = _world(seed=3)
+    obs = Observability(trace=True)
+    r = run_simulation(built.tree, trace, LunulePolicy(), _config(obs=obs))
+    spans = obs.tracer.spans
+    assert len(spans) == r.ops_completed
+    total_lat = sum(s.latency_ms for s in spans)
+    total_parts = sum(s.queue_ms + s.service_ms + s.net_ms for s in spans)
+    assert total_parts == pytest.approx(total_lat, rel=1e-9)
+    # span-side mean must agree with the LatencyRecorder's exact mean
+    assert total_lat / len(spans) == pytest.approx(r.mean_latency_ms, rel=1e-9)
+
+
+def test_audit_resolves_every_non_final_migration():
+    built, trace = _world(seed=1, n_ops=8000)
+    obs = Observability(audit=True)
+    r = run_simulation(built.tree, trace, LunulePolicy(), _config(obs=obs))
+    assert r.migrations > 0, "skewed start must migrate"
+    audit = obs.audit
+    assert audit.total_migrations == r.migrations
+    # every migration not in the final (unobserved) epoch has a realized value
+    last_epoch = max(e.epoch for e in audit.entries)
+    for e in audit.entries:
+        if e.epoch < last_epoch:
+            assert e.resolved
+
+
+def test_jsonl_streaming_matches_in_memory(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    built, trace = _world(seed=2)
+    obs = Observability(tracer=JsonlTracer(str(path), retain=True))
+    r = run_simulation(built.tree, trace, LunulePolicy(), _config(obs=obs))
+    obs.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(obs.tracer.spans) == r.ops_completed
+
+
+def test_disabled_observability_overhead_is_small():
+    """The NULL_OBS hot path must cost <= 5% vs the pre-instrumentation code.
+
+    We cannot rerun the uninstrumented binary here, so approximate: the
+    disabled run must be within 5% + noise of itself across repeats, and a
+    fully-instrumented run bounds the worst case.  Wall-clock flakiness makes
+    a strict CI assertion counterproductive; assert a loose 'disabled is not
+    slower than enabled' sanity bound instead.
+    """
+    import time
+
+    def run_once(obs):
+        built, trace = _world(seed=4, n_ops=4000)
+        t0 = time.perf_counter()
+        run_simulation(built.tree, trace, LunulePolicy(), _config(obs=obs))
+        return time.perf_counter() - t0
+
+    run_once(None)  # warm caches/JIT-ish effects
+    disabled = min(run_once(None) for _ in range(2))
+    enabled = min(run_once(Observability(metrics=True, trace=True, audit=True)) for _ in range(2))
+    # disabled must never be meaningfully slower than fully instrumented
+    assert disabled <= enabled * 1.5
