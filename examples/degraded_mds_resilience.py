@@ -17,17 +17,20 @@ Run:  python examples/degraded_mds_resilience.py
 import numpy as np
 
 from repro import CostParams, CoarseHashPolicy, OnlineOrigamiPolicy, SeedSequenceFactory, SimConfig
-from repro.fs.faults import Slowdown, SlowdownInjector
+from repro.fs.faults import FaultSchedule, Slowdown
 from repro.fs.filesystem import OrigamiFS
 from repro.workloads import generate_trace_rw
 
 
 def run(policy, label):
     built, trace = generate_trace_rw(SeedSequenceFactory(11).stream("w"), n_ops=50_000)
-    cfg = SimConfig(n_mds=4, n_clients=150, epoch_ms=80.0, params=CostParams(cache_depth=2))
-    fs = OrigamiFS(built.tree, trace, policy, cfg)
     # degrade MDS 0 by 4x from 200 ms onward
-    SlowdownInjector(fs, [Slowdown(mds=0, start_ms=200.0, end_ms=1e9, factor=4.0)])
+    faults = FaultSchedule([Slowdown(mds=0, start_ms=200.0, end_ms=1e9, factor=4.0)])
+    cfg = SimConfig(
+        n_mds=4, n_clients=150, epoch_ms=80.0,
+        params=CostParams(cache_depth=2), faults=faults,
+    )
+    fs = OrigamiFS(built.tree, trace, policy, cfg)
     result = fs.run()
 
     shares = [

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # type-only: avoids a package-import cycle with repro.workloads
     from repro.workloads.trace import Trace
 
-__all__ = ["EpochContext", "BalancePolicy", "LunuleTrigger"]
+__all__ = ["EpochContext", "BalancePolicy", "LunuleTrigger", "plan_evacuations"]
 
 
 @dataclass
@@ -59,6 +59,9 @@ class EpochContext:
     #: show what was *considered*, not just what moved.  None in offline
     #: pipelines that construct contexts by hand.
     obs: Optional[object] = None
+    #: per-MDS liveness at the epoch boundary (degraded-mode input from the
+    #: fault injector); None means "no fault layer, everything is up"
+    mds_up: Optional[np.ndarray] = None
 
     def note_candidates(self, roots, predicted) -> None:
         """Post the candidate set this epoch's policy scored to the audit
@@ -66,6 +69,12 @@ class EpochContext:
         audit = getattr(self.obs, "audit", None)
         if audit is not None:
             audit.note_candidates(self.epoch, roots, predicted)
+
+    def live_mds(self) -> Optional[np.ndarray]:
+        """Indices of up MDSs, or None when the fault layer is absent/idle."""
+        if self.mds_up is None or bool(self.mds_up.all()):
+            return None
+        return np.nonzero(np.asarray(self.mds_up, dtype=bool))[0]
 
 
 class BalancePolicy(abc.ABC):
@@ -101,6 +110,60 @@ class LunuleTrigger:
         if mds_load.size <= 1 or mds_load.max() < self.min_load:
             return False
         return imbalance_factor(mds_load) > self.threshold
+
+
+def plan_evacuations(ctx: EpochContext) -> List[MigrationDecision]:
+    """Evacuate every subtree owned by a dead MDS onto the live survivors.
+
+    Degraded-mode first aid, shared by every subtree policy: when
+    ``ctx.mds_up`` marks MDSs down, their metadata authority must move or
+    clients will burn their whole retry budget against a corpse.  Maximal
+    single-owner subtrees rooted in dead territory become ordinary
+    :class:`MigrationDecision`\\ s (so the Migrator charges the destination's
+    ingest cost and the audit sees them); dead-owned directories trapped
+    inside mixed-owner subtrees — where a subtree move would steal live
+    interiors — are repinned directly on the partition map, modelling
+    authority recovery from the journal rather than a data transfer.
+
+    Destinations spread across live MDSs by estimated load (observed busy-ms
+    plus the op-load of subtrees already assigned this round).
+    """
+    live = ctx.live_mds()
+    if live is None:
+        return []
+    pmap, tree = ctx.pmap, ctx.tree
+    owner = pmap.owner_array()
+    cap = owner.shape[0]
+    up = np.asarray(ctx.mds_up, dtype=bool)
+    dead_owned = np.zeros(cap, dtype=bool)
+    owned = owner >= 0
+    dead_owned[owned] = ~up[owner[owned]]
+    dead_owned &= tree.dir_mask()[:cap]
+    if not dead_owned.any():
+        return []
+
+    loads = np.asarray(ctx.mds_load, dtype=np.float64)
+    est = loads.copy()
+    total_ops = float(ctx.snapshot.total_ops) or 1.0
+    ms_per_op = float(loads.sum()) / total_ops
+    sub = subtree_loads(ctx)
+    idx = tree.dfs_index()
+    uniform = pmap.uniform_subtree_mask()
+    covered = np.zeros(cap, dtype=bool)
+    decisions: List[MigrationDecision] = []
+    for d in idx.order:  # DFS order: maximal subtrees claim their interiors
+        d = int(d)
+        if not dead_owned[d] or covered[d] or not uniform[d]:
+            continue
+        dst = int(live[np.argmin(est[live])])
+        decisions.append(MigrationDecision(d, int(owner[d]), dst))
+        covered[idx.dirs_in_subtree(d)] = True
+        est[dst] += float(sub[d]) * ms_per_op + 1e-9
+    for d in np.nonzero(dead_owned & ~covered)[0]:
+        dst = int(live[np.argmin(est[live])])
+        pmap.assign_dir(int(d), dst)
+        est[dst] += float(sub[int(d)]) * ms_per_op + 1e-9
+    return decisions
 
 
 def subtree_loads(ctx: EpochContext) -> np.ndarray:

@@ -16,7 +16,13 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.balancers.base import BalancePolicy, EpochContext, LunuleTrigger, subtree_loads
+from repro.balancers.base import (
+    BalancePolicy,
+    EpochContext,
+    LunuleTrigger,
+    plan_evacuations,
+    subtree_loads,
+)
 from repro.cluster.migration import MigrationDecision
 
 __all__ = ["LunulePolicy", "plan_exports", "dir_op_counts"]
@@ -65,6 +71,13 @@ def plan_exports(
     order = cands[np.argsort(-load_by_subtree[cands])]
     idx = tree.dfs_index()
     mean = loads.mean()
+    # export destinations: everyone but the source — minus dead MDSs when
+    # the fault layer reports an outage (degraded-mode candidate masking)
+    others = np.delete(np.arange(loads.shape[0]), src)
+    if ctx.mds_up is not None:
+        others = others[np.asarray(ctx.mds_up, dtype=bool)[others]]
+    if others.size == 0:
+        return []
 
     est = loads.copy()
     chosen: List[Tuple[int, int]] = []
@@ -85,7 +98,6 @@ def plan_exports(
             for c, _ in chosen
         ):
             continue  # overlaps (either way) with an already-exported subtree
-        others = np.delete(np.arange(est.shape[0]), src)
         dst = int(others[np.argmin(est[others])])
         chosen.append((s, dst))
         est[src] -= move_ms
@@ -107,13 +119,20 @@ class LunulePolicy(BalancePolicy):
         self.max_moves = max_moves_per_epoch
 
     def rebalance(self, ctx: EpochContext) -> List[MigrationDecision]:
+        # dead MDSs are evacuated unconditionally — before (and regardless
+        # of) the load trigger: authority on a corpse serves nobody
+        evacuations = plan_evacuations(ctx)
         if not self.trigger.should_rebalance(ctx.mds_load):
-            return []
+            return evacuations
         loads = np.asarray(ctx.mds_load, dtype=np.float64)
+        if ctx.mds_up is not None:
+            loads = np.where(np.asarray(ctx.mds_up, dtype=bool), loads, -np.inf)
         src = int(np.argmax(loads))
+        if not np.isfinite(loads[src]):
+            return evacuations
         sub_loads = subtree_loads(ctx)
         moves = plan_exports(ctx, sub_loads, src, self.max_moves)
-        return [
+        return evacuations + [
             MigrationDecision(s, src, dst, predicted_benefit=float(sub_loads[s]))
             for s, dst in moves
         ]

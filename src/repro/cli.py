@@ -92,8 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     si.add_argument("--clients", type=int, default=300)
     si.add_argument("--seed", type=int, default=42)
     si.add_argument("--cache-depth", type=int, default=2)
+    si.add_argument("--epoch-ms", type=float, default=None,
+                    help="rebalance epoch length (default: the scale profile's)")
     si.add_argument("--kvstore", action="store_true",
                     help="store inodes in per-MDS LSM stores (surfaces StoreStats)")
+    si.add_argument("--faults", dest="faults_path", default=None, metavar="PATH",
+                    help="JSON fault schedule (crashes, slowdowns, drops, partitions)")
     si.add_argument("--trace", dest="trace_out", default=None, metavar="PATH",
                     help="write request spans as JSONL here")
     si.add_argument("--metrics", dest="metrics_out", default=None, metavar="PATH",
@@ -206,6 +210,15 @@ def _cmd_simulate(args) -> int:
     scale = get_scale()
     built, trace = build_workload(args.kind, args.ops, args.seed)
     policy, default_mds = make_policy(args.strategy, args.kind, scale)
+    faults = None
+    if args.faults_path:
+        from repro.fs.faults import FaultSchedule
+
+        try:
+            faults = FaultSchedule.load(args.faults_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro simulate: bad fault schedule: {exc}", file=sys.stderr)
+            return 2
     want_obs = args.trace_out or args.metrics_out or args.audit_out
     obs = (
         Observability(
@@ -219,12 +232,13 @@ def _cmd_simulate(args) -> int:
     config = SimConfig(
         n_mds=args.mds if args.strategy != "Single" else 1,
         n_clients=args.clients,
-        epoch_ms=scale.epoch_ms,
+        epoch_ms=args.epoch_ms if args.epoch_ms is not None else scale.epoch_ms,
         params=CostParams(cache_depth=args.cache_depth),
         seed=args.seed,
         oracle_window_ops=9000,
         use_kvstore=args.kvstore,
         obs=obs,
+        faults=faults,
     )
     r = run_simulation(built.tree, trace, policy, config)
     imb = r.imbalance()
@@ -237,6 +251,14 @@ def _cmd_simulate(args) -> int:
     print(f"migrations          : {r.migrations} ({r.inodes_migrated:,} inodes)")
     print(f"imbalance QPS/Busy  : {imb.qps:.2f} / {imb.busytime:.2f}")
     print(f"cache hit rate      : {r.cache_hit_rate:.1%}")
+    if r.faults is not None:
+        fl = r.faults
+        print(f"faults              : {int(fl['crashes'])} crashes / "
+              f"{int(fl['restarts'])} restarts, {int(fl['retries'])} retries, "
+              f"{int(fl['failovers'])} failovers")
+        print(f"fault op outcomes   : {int(fl['ops_recovered'])} recovered, "
+              f"{int(fl['ops_failed'])} failed typed, {r.vanished_ops} vanished "
+              f"({fl['backoff_wait_ms']:.1f} ms spent backing off)")
     if r.kvstore is not None:
         kv = r.kvstore
         print(f"kvstore gets/puts   : {int(kv['gets']):,} / {int(kv['puts']):,} "

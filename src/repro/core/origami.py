@@ -20,7 +20,13 @@ from typing import List, Optional, Protocol
 
 import numpy as np
 
-from repro.balancers.base import BalancePolicy, EpochContext, LunuleTrigger, subtree_loads
+from repro.balancers.base import (
+    BalancePolicy,
+    EpochContext,
+    LunuleTrigger,
+    plan_evacuations,
+    subtree_loads,
+)
 from repro.cluster.migration import MigrationDecision
 from repro.ml.dataset import FeatureExtractor
 
@@ -70,17 +76,22 @@ class OrigamiPolicy(BalancePolicy):
         self._last_moved: dict = {}
 
     def rebalance(self, ctx: EpochContext) -> List[MigrationDecision]:
+        # degraded mode: dead MDSs are evacuated first and masked out of the
+        # candidate machinery below (never a source worth scoring, never a
+        # destination)
+        evacuations = plan_evacuations(ctx)
+        live = ctx.live_mds()
         if not self.trigger.should_rebalance(ctx.mds_load):
-            return []
+            return evacuations
         pmap, tree = ctx.pmap, ctx.tree
         loads = np.asarray(ctx.mds_load, dtype=np.float64).copy()
-        mean_load = loads.mean()
+        mean_load = loads.mean() if live is None else loads[live].mean()
 
         uniform = pmap.uniform_subtree_mask()
         uniform[0] = False
         cands = np.nonzero(uniform)[0]
         if cands.size == 0:
-            return []
+            return evacuations
         X = FeatureExtractor(tree).extract(cands, ctx.snapshot)
         benefit = self.model.predict(X)
         ctx.note_candidates(cands, benefit)
@@ -106,6 +117,8 @@ class OrigamiPolicy(BalancePolicy):
             if last is not None and ctx.epoch - last < self.cooldown_epochs:
                 continue  # let the previous move's effect become observable
             src = int(owner[s])
+            if live is not None and not ctx.mds_up[src]:
+                continue  # dead sources are the evacuation pass's business
             # only shed load from above-average MDSs; moving work onto the
             # hottest machine can't shrink the largest bin
             if loads[src] <= mean_load:
@@ -116,7 +129,7 @@ class OrigamiPolicy(BalancePolicy):
                 for c in taken
             ):
                 continue  # overlaps (either way) with an already-moved subtree
-            dst = int(np.argmin(loads))
+            dst = int(np.argmin(loads)) if live is None else int(live[np.argmin(loads[live])])
             if dst == src:
                 continue
             moved = float(sub_load[s])
@@ -136,13 +149,17 @@ class OrigamiPolicy(BalancePolicy):
             from repro.balancers.lunule import plan_exports
 
             raw = subtree_loads(ctx)
-            src = int(np.argmax(np.asarray(ctx.mds_load, dtype=np.float64)))
-            moves = plan_exports(ctx, raw, src, self.max_moves)
-            decisions = [
-                MigrationDecision(s, src, dst, predicted_benefit=float(raw[s]))
-                for s, dst in moves
-                if ctx.epoch - self._last_moved.get(s, -(10**9)) >= self.cooldown_epochs
-            ]
-            for d in decisions:
-                self._last_moved[d.subtree_root] = ctx.epoch
-        return decisions
+            observed = np.asarray(ctx.mds_load, dtype=np.float64)
+            if live is not None:
+                observed = np.where(np.asarray(ctx.mds_up, dtype=bool), observed, -np.inf)
+            src = int(np.argmax(observed))
+            if np.isfinite(observed[src]):
+                moves = plan_exports(ctx, raw, src, self.max_moves)
+                decisions = [
+                    MigrationDecision(s, src, dst, predicted_benefit=float(raw[s]))
+                    for s, dst in moves
+                    if ctx.epoch - self._last_moved.get(s, -(10**9)) >= self.cooldown_epochs
+                ]
+                for d in decisions:
+                    self._last_moved[d.subtree_root] = ctx.epoch
+        return evacuations + decisions

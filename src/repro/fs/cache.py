@@ -35,6 +35,10 @@ class NearRootCache:
         self.depth_threshold = depth_threshold
         self.hits = 0
         self.misses = 0
+        #: near-root entries are void until this virtual time (an MDS crash
+        #: invalidates them: a restarted server cannot vouch for entries it
+        #: handed out before dying)
+        self.invalid_until = 0.0
 
     @property
     def enabled(self) -> bool:
@@ -42,7 +46,7 @@ class NearRootCache:
 
     def covers(self, dir_ino: int, now: float = 0.0) -> bool:
         """Would this directory's entry be served from the client cache?"""
-        if not self.enabled:
+        if not self.enabled or now < self.invalid_until:
             self.misses += 1
             return False
         if self.tree.depth(dir_ino) < self.depth_threshold:
@@ -57,6 +61,10 @@ class NearRootCache:
     def recall_if_leased(self, dir_ino: int, now: float) -> float:
         """No-op: near-root entries are never leased (read-only by design)."""
         return 0.0
+
+    def on_mds_crash(self, now: float, until: float) -> None:
+        """Void near-root coverage until the crashed MDS is back and warm."""
+        self.invalid_until = max(self.invalid_until, until)
 
     @property
     def hit_rate(self) -> float:
@@ -128,6 +136,10 @@ class LeaseCache:
             self.recalls += 1
             return self.recall_cost_ms
         return 0.0
+
+    def on_mds_crash(self, now: float, until: float) -> None:
+        """Drop every live lease: the dead MDS can no longer honour recalls."""
+        self._expiry.clear()
 
     @property
     def hit_rate(self) -> float:

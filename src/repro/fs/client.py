@@ -17,6 +17,16 @@ When tracing is enabled each operation carries a
 :class:`~repro.obs.tracing.Span` decomposing its latency into queue wait,
 MDS service, and network time; recording is passive (no RNG draws, no
 events), so traced runs replay bit-identically to untraced ones.
+
+When a fault schedule is installed the client grows the robustness layer of
+a real SDK: every RPC passes the injector's gate (timeouts, drops, refused
+connections), a failed attempt is retried with bounded exponential backoff
+and seeded jitter, and each retry re-plans the op from the *current*
+partition map — so when the balancer evacuates a crashed MDS's subtrees the
+client fails over to the new owner.  An op that exhausts its retry budget
+surfaces a typed failure (``span.fault``); it is never silently lost.  With
+no faults installed the fault path costs one ``None`` check per op and the
+replay is bit-identical to pre-fault builds (tests/test_golden_baseline.py).
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from repro.costmodel.optypes import (
     OpType,
     category_of,
 )
+from repro.fs.faults.errors import FaultError
 
 __all__ = ["ClientWorker"]
 
@@ -87,24 +98,106 @@ class ClientWorker:
 
     # ------------------------------------------------------------ execution
     def execute_op(self, i: int, span=None) -> Generator:
-        """Execute trace operation ``i``; returns the observed latency (ms)."""
+        """Execute trace operation ``i``; returns the observed latency (ms).
+
+        Every issued op is accounted exactly once: it completes
+        (``fs.ops_completed``), vanishes under a concurrent mutation
+        (``fs.vanished_ops``), or fails typed after exhausting its fault
+        retries (``fs.fault_failed_ops``) — the zero-lost-ops invariant the
+        property suite asserts.
+        """
         fs = self.fs
         env = fs.env
-        params = fs.params
         trace = fs.trace
         op = int(trace.op[i])
         dir_ino = int(trace.dir_ino[i])
         aux = int(trace.aux[i])
         name = trace.names[i] if trace.names is not None else ""
-        if not fs.tree.is_alive(dir_ino) or not fs.tree.is_dir(dir_ino):
-            # the directory vanished under a concurrent mutation; count the
-            # op as a cheap failed lookup at whatever server owns the parent
-            fs.failed_ops += 1
-            if span is not None:
-                span.failed = True
+        if not self._mark_vanished_if_dead(dir_ino, span):
             return 0.0
         cat = category_of(op)
         start = env.now
+
+        if fs.faults is None:
+            completed = True
+            yield from self._attempt(op, dir_ino, aux, name, cat, span)
+        else:
+            completed = yield from self._attempt_with_retries(
+                op, dir_ino, aux, name, cat, span
+            )
+        if completed:
+            self.ops_done += 1
+            fs.ops_completed += 1
+        fs.last_completion_ms = env.now
+        return env.now - start
+
+    def _mark_vanished_if_dead(self, dir_ino: int, span) -> bool:
+        """False when the target directory died under a concurrent mutation;
+        the op is counted as a cheap failed lookup."""
+        fs = self.fs
+        if fs.tree.is_alive(dir_ino) and fs.tree.is_dir(dir_ino):
+            return True
+        fs.failed_ops += 1
+        fs.vanished_ops += 1
+        if span is not None:
+            span.failed = True
+            span.fault = "vanished"
+        return False
+
+    def _attempt_with_retries(
+        self, op: int, dir_ino: int, aux: int, name: str, cat: int, span
+    ) -> Generator:
+        """Fault-tolerant execution: retry with backoff, failover on re-plan.
+
+        Returns True when the op completed, False when it surfaced a typed
+        failure (retry budget exhausted) or vanished between retries.
+        """
+        fs = self.fs
+        env = fs.env
+        inj = fs.faults
+        retry = inj.retry
+        attempt = 1
+        while True:
+            attempt_primary = int(fs.pmap.owner_array()[dir_ino])
+            try:
+                yield from self._attempt(op, dir_ino, aux, name, cat, span)
+            except FaultError as exc:
+                if attempt >= retry.max_attempts:
+                    inj.count_op_failed(exc)
+                    fs.fault_failed_ops += 1
+                    if span is not None:
+                        span.failed = True
+                        span.fault = exc.reason
+                    return False
+                inj.count_retry()
+                wait = inj.backoff_ms(attempt)
+                if span is not None:
+                    span.retries += 1
+                    span.fault_wait_ms += wait
+                yield env.timeout(wait)
+                attempt += 1
+                # the backoff may span epoch boundaries: the balancer can
+                # have evacuated the failed MDS's subtrees meanwhile, and a
+                # concurrent mutation can have removed the directory
+                if not self._mark_vanished_if_dead(dir_ino, span):
+                    return False
+                if int(fs.pmap.owner_array()[dir_ino]) != attempt_primary:
+                    inj.count_failover()
+                    if span is not None:
+                        span.failovers += 1
+            else:
+                if attempt > 1:
+                    inj.count_recovered()
+                return True
+
+    def _attempt(
+        self, op: int, dir_ino: int, aux: int, name: str, cat: int, span
+    ) -> Generator:
+        """One full execution attempt against the current partition map."""
+        fs = self.fs
+        env = fs.env
+        params = fs.params
+        inj = fs.faults
 
         visits, primary = self._plan(op, dir_ino, span)
         pserver = fs.servers[primary]
@@ -114,6 +207,8 @@ class ClientWorker:
 
         for mds, n_reads in visits:
             server = fs.servers[mds]
+            if inj is not None:
+                yield from inj.rpc_gate(mds, span)
             server.count_rpc()
             fs.total_rpcs += 1
             # network round trip to this MDS
@@ -133,6 +228,8 @@ class ClientWorker:
         if cat == CATEGORY_LSDIR:
             others = sorted(fs.pmap.lsdir_owners(dir_ino))
             for o in others:
+                if inj is not None:
+                    yield from inj.rpc_gate(o, span)
                 fs.servers[o].count_rpc()
                 fs.total_rpcs += 1
                 rtt = fs.network_rtt()
@@ -163,11 +260,6 @@ class ClientWorker:
             if fs.use_kvstore:
                 pserver.kv_get(b"%020d/%s" % (dir_ino, name.encode()), span)
             fs.stats.record_read(dir_ino)
-
-        self.ops_done += 1
-        fs.ops_completed += 1
-        fs.last_completion_ms = env.now
-        return env.now - start
 
     def _split_partner(self, op: int, dir_ino: int, name: str, aux: int) -> Optional[int]:
         """The other MDS of a split namespace mutation, if any (Eq. 2 ns-m)."""

@@ -86,6 +86,7 @@ class EpochDriver:
                 oracle_window=fs.upcoming(self.oracle_window_ops),
                 completed_window=completed,
                 obs=fs.obs,
+                mds_up=fs.faults.up_mask() if fs.faults is not None else None,
             )
             decisions = self.policy.rebalance(ctx)
             if decisions:

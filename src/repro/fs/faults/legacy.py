@@ -1,0 +1,42 @@
+"""Deprecated pre-schedule API: :class:`SlowdownInjector`.
+
+The original fault layer knew exactly one fault (service slowdowns) and was
+installed imperatively by monkey-patching ``server.service``.  It is kept as
+a thin shim over the schedule model — same constructor, same ``factor_for``
+query, same semantics (worst active factor wins, applied when the request
+*enters* service) — so existing callers keep working while emitting a
+:class:`DeprecationWarning`.  New code should build a
+:class:`~repro.fs.faults.schedule.FaultSchedule` instead (either via
+``SimConfig(faults=...)`` or ``FaultInjector(fs, schedule)``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List
+
+from repro.fs.faults.injector import FaultInjector
+from repro.fs.faults.schedule import FaultSchedule, Slowdown
+
+__all__ = ["SlowdownInjector"]
+
+
+class SlowdownInjector:
+    """Deprecated: installs service-time degradation on an OrigamiFS instance."""
+
+    def __init__(self, fs, slowdowns: List[Slowdown]):
+        warnings.warn(
+            "SlowdownInjector is deprecated; pass a FaultSchedule via "
+            "SimConfig(faults=...) or install a FaultInjector instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if getattr(fs, "faults", None) is not None:
+            raise RuntimeError("fs already has a fault injector installed")
+        self.fs = fs
+        self.slowdowns = list(slowdowns)
+        self._injector = FaultInjector(fs, FaultSchedule(self.slowdowns))
+
+    def factor_for(self, mds: int, now: float) -> float:
+        """Worst slowdown factor active on ``mds`` at ``now`` (legacy query)."""
+        return self._injector.service_factor(mds, now)

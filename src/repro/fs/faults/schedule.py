@@ -1,0 +1,329 @@
+"""Declarative fault schedules: what goes wrong, where, and when.
+
+A :class:`FaultSchedule` is a plain list of window-scoped fault events plus
+the client-side :class:`RetryPolicy`, serialisable to/from JSON so a whole
+resilience experiment is one ``simulate --faults schedule.json`` flag.  The
+schedule is *pure data*: every query (``is_down``, ``slowdown_factor``, …)
+is a function of ``(mds, now)`` only, which is what keeps fault runs
+deterministic — the only RNG the fault layer touches are the dedicated
+seeded streams the injector owns (drop coin flips, backoff jitter).
+
+Event kinds
+-----------
+
+* :class:`Slowdown` — service times on one MDS multiplied by ``factor``;
+* :class:`Crash` — the MDS is down for the window: in-flight requests are
+  aborted, its queue drains by failing, and after restart it serves at
+  ``warmup_factor``x for ``warmup_ms`` (cold caches);
+* :class:`RpcDrop` — each RPC to the MDS is dropped with ``probability``
+  (the client waits out its RPC timeout before retrying);
+* :class:`RpcDelay` — each RPC to the MDS pays ``extra_ms`` on top of the
+  normal round trip;
+* :class:`Partition` — the MDS is unreachable (every RPC times out) while
+  the server itself keeps running — the classic "it's not dead, you just
+  can't talk to it" failure a load-driven balancer cannot see directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FaultEvent",
+    "Slowdown",
+    "Crash",
+    "RpcDrop",
+    "RpcDelay",
+    "Partition",
+    "RetryPolicy",
+    "FaultSchedule",
+    "SCHEDULE_SCHEMA_VERSION",
+]
+
+#: bump when the JSON schema changes incompatibly
+SCHEDULE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base event: something bad happens to ``mds`` in ``[start_ms, end_ms)``."""
+
+    mds: int
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self):
+        if self.mds < 0:
+            raise ValueError(f"mds must be non-negative, got {self.mds}")
+        if self.start_ms < 0:
+            raise ValueError(f"start_ms must be non-negative, got {self.start_ms}")
+        if self.end_ms <= self.start_ms:
+            raise ValueError("end must come after start")
+
+    def active(self, now: float) -> bool:
+        return self.start_ms <= now < self.end_ms
+
+    @property
+    def kind(self) -> str:
+        return _KIND_BY_TYPE[type(self)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            d[f.name] = "inf" if isinstance(v, float) and math.isinf(v) else v
+        return d
+
+
+@dataclass(frozen=True)
+class Slowdown(FaultEvent):
+    """Degrade ``mds`` by ``factor``x between ``start_ms`` and ``end_ms``."""
+
+    factor: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (a slowdown)")
+
+
+@dataclass(frozen=True)
+class Crash(FaultEvent):
+    """``mds`` is down for the window; ``end_ms=inf`` means no restart.
+
+    After restart the server runs at ``warmup_factor``x service times for
+    ``warmup_ms`` (journal replay, cold caches) before returning to full
+    speed.
+    """
+
+    warmup_ms: float = 0.0
+    warmup_factor: float = 2.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.warmup_ms < 0:
+            raise ValueError("warmup_ms must be non-negative")
+        if self.warmup_factor < 1.0:
+            raise ValueError("warmup_factor must be >= 1")
+
+    @property
+    def restarts(self) -> bool:
+        return not math.isinf(self.end_ms)
+
+
+@dataclass(frozen=True)
+class RpcDrop(FaultEvent):
+    """Drop each RPC to ``mds`` with ``probability`` during the window."""
+
+    probability: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class RpcDelay(FaultEvent):
+    """Add ``extra_ms`` to every RPC round trip to ``mds`` in the window."""
+
+    extra_ms: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.extra_ms <= 0:
+            raise ValueError("extra_ms must be positive")
+
+
+@dataclass(frozen=True)
+class Partition(FaultEvent):
+    """``mds`` is unreachable over the network for the window."""
+
+
+_KIND_BY_TYPE: Dict[type, str] = {
+    Slowdown: "slowdown",
+    Crash: "crash",
+    RpcDrop: "rpc_drop",
+    RpcDelay: "rpc_delay",
+    Partition: "partition",
+}
+_TYPE_BY_KIND: Dict[str, type] = {v: k for k, v in _KIND_BY_TYPE.items()}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side robustness knobs: per-RPC timeout + bounded backoff.
+
+    Backoff for attempt ``k`` (1-based) is
+    ``min(base * 2**(k-1), max) * (1 + jitter * u)`` with ``u`` drawn from
+    the injector's seeded retry stream — deterministic given the run seed.
+    """
+
+    #: how long a client waits on an unanswered RPC before declaring it lost
+    rpc_timeout_ms: float = 5.0
+    #: first-retry backoff
+    backoff_base_ms: float = 0.25
+    #: exponential backoff cap
+    backoff_max_ms: float = 4.0
+    #: attempts per op before surfacing a typed failure (1 = no retries)
+    max_attempts: int = 8
+    #: jitter fraction on top of the deterministic backoff
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.rpc_timeout_ms <= 0:
+            raise ValueError("rpc_timeout_ms must be positive")
+        if self.backoff_base_ms < 0 or self.backoff_max_ms < self.backoff_base_ms:
+            raise ValueError("need 0 <= backoff_base_ms <= backoff_max_ms")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def backoff_ms(self, attempt: int, u: float) -> float:
+        """Wait before retry number ``attempt`` (1-based); ``u`` in [0, 1)."""
+        raw = self.backoff_base_ms * (2.0 ** (attempt - 1))
+        return min(raw, self.backoff_max_ms) * (1.0 + self.jitter * u)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultSchedule:
+    """An ordered set of fault events plus the client retry policy."""
+
+    def __init__(self, events: Sequence[FaultEvent] = (), retry: Optional[RetryPolicy] = None):
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: (e.start_ms, e.mds))
+        self.retry = retry if retry is not None else RetryPolicy()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self.events == other.events and self.retry == other.retry
+
+    def __repr__(self) -> str:
+        kinds: Dict[str, int] = {}
+        for e in self.events:
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        return f"FaultSchedule({kinds or 'empty'})"
+
+    # ---------------------------------------------------------------- checks
+    def validate(self, n_mds: int) -> None:
+        """Raise ValueError if any event targets an MDS outside ``[0, n_mds)``."""
+        for e in self.events:
+            if not 0 <= e.mds < n_mds:
+                raise ValueError(f"{e.kind} targets unknown MDS {e.mds} (cluster has {n_mds})")
+        down = [e for e in self.events if isinstance(e, Crash)]
+        for t in (e.start_ms for e in down):
+            # a schedule that crashes every MDS at once has no live server to
+            # fail over to; reject it early instead of deadlocking the run
+            if len({e.mds for e in down if e.active(t)}) >= n_mds:
+                raise ValueError("schedule crashes every MDS simultaneously")
+
+    # --------------------------------------------------------------- queries
+    def slowdown_factor(self, mds: int, now: float) -> float:
+        """Service-time multiplier: worst active slowdown or restart warm-up."""
+        f = 1.0
+        for e in self.events:
+            if e.mds != mds:
+                continue
+            if isinstance(e, Slowdown) and e.active(now):
+                f = max(f, e.factor)
+            elif isinstance(e, Crash) and e.restarts and e.warmup_ms > 0:
+                if e.end_ms <= now < e.end_ms + e.warmup_ms:
+                    f = max(f, e.warmup_factor)
+        return f
+
+    def is_down(self, mds: int, now: float) -> bool:
+        return any(e.mds == mds and isinstance(e, Crash) and e.active(now) for e in self.events)
+
+    def partitioned(self, mds: int, now: float) -> bool:
+        return any(
+            e.mds == mds and isinstance(e, Partition) and e.active(now) for e in self.events
+        )
+
+    def drop_probability(self, mds: int, now: float) -> float:
+        p = 0.0
+        for e in self.events:
+            if e.mds == mds and isinstance(e, RpcDrop) and e.active(now):
+                p = max(p, e.probability)
+        return p
+
+    def extra_delay_ms(self, mds: int, now: float) -> float:
+        return sum(
+            e.extra_ms
+            for e in self.events
+            if e.mds == mds and isinstance(e, RpcDelay) and e.active(now)
+        )
+
+    def crash_edges(self) -> List[Tuple[float, str, Crash]]:
+        """Chronological ``(time, "crash"|"restart", event)`` control points."""
+        edges: List[Tuple[float, str, Crash]] = []
+        for e in self.events:
+            if not isinstance(e, Crash):
+                continue
+            edges.append((e.start_ms, "crash", e))
+            if e.restarts:
+                edges.append((e.end_ms, "restart", e))
+        edges.sort(key=lambda t: (t[0], t[1] == "crash", t[2].mds))
+        return edges
+
+    @property
+    def has_crashes(self) -> bool:
+        return any(isinstance(e, Crash) for e in self.events)
+
+    # ----------------------------------------------------------- persistence
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SCHEDULE_SCHEMA_VERSION,
+            "retry": self.retry.to_dict(),
+            "faults": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        version = data.get("version", SCHEDULE_SCHEMA_VERSION)
+        if version > SCHEDULE_SCHEMA_VERSION:
+            raise ValueError(f"fault schedule version {version} is newer than supported")
+        retry = RetryPolicy(**data["retry"]) if "retry" in data else None
+        events = []
+        for raw in data.get("faults", []):
+            raw = dict(raw)
+            kind = raw.pop("kind", None)
+            etype = _TYPE_BY_KIND.get(kind)
+            if etype is None:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            for k, v in raw.items():
+                if v == "inf":
+                    raw[k] = math.inf
+            try:
+                events.append(etype(**raw))
+            except TypeError as exc:
+                raise ValueError(f"bad {kind} event {raw}: {exc}") from None
+        return cls(events, retry=retry)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        with open(path) as f:
+            return cls.from_json(f.read())

@@ -26,6 +26,8 @@ from repro.fs.cache import LeaseCache, NearRootCache
 from repro.fs.client import ClientWorker
 from repro.fs.datapath import DataCluster
 from repro.fs.driver import EpochDriver
+from repro.fs.faults.injector import FaultInjector
+from repro.fs.faults.schedule import FaultSchedule
 from repro.fs.metrics import LatencyRecorder, SimResult
 from repro.fs.migrator import Migrator
 from repro.fs.server import MdsServer
@@ -67,6 +69,10 @@ class SimConfig:
     #: None means the shared all-disabled bundle — zero overhead, identical
     #: behaviour (asserted by tests/test_obs_parity.py)
     obs: Optional[Observability] = None
+    #: declarative fault schedule (crashes, slowdowns, drops, partitions);
+    #: None — and an *empty* schedule — are bit-identical to a healthy run
+    #: (asserted by tests/test_fs_parity.py)
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self):
         if self.n_mds < 1 or self.n_clients < 1:
@@ -144,6 +150,10 @@ class OrigamiFS:
         self.replay_done = len(trace) == 0
         self.ops_completed = 0
         self.failed_ops = 0
+        #: failed_ops sub-counts: directory vanished under a concurrent
+        #: mutation vs. retry budget exhausted against a faulty cluster
+        self.vanished_ops = 0
+        self.fault_failed_ops = 0
         self.total_rpcs = 0
         self.stale_decisions = 0
         self.data_ops_completed = 0
@@ -151,6 +161,11 @@ class OrigamiFS:
         self.last_completion_ms = 0.0
         self.created_files: List[int] = []
         self.epochs: List = []
+
+        #: fault injector (installed last: it touches servers and cache)
+        self.faults: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            FaultInjector(self, self.config.faults)  # sets self.faults
 
     # -------------------------------------------------------------- plumbing
     def _populate_stores(self) -> None:
@@ -184,6 +199,8 @@ class OrigamiFS:
         """Near-root coverage of the *target entry* (files are never leased)."""
         if self.config.cache_mode != "near-root":
             return False
+        if self.env.now < self.cache.invalid_until:  # crash voided the cache
+            return False
         return 0 < self.params.cache_depth and depth < self.params.cache_depth
 
     # ------------------------------------------------------------------ run
@@ -201,6 +218,8 @@ class OrigamiFS:
             yield self.env.all_of(clients)
             if driver_proc.is_alive:
                 driver_proc.interrupt("replay-complete")
+            if self.faults is not None:
+                self.faults.cancel()
 
         self.env.process(terminator())
         self.env.run()
@@ -236,10 +255,13 @@ class OrigamiFS:
             migrations=self.migrator.log.total_migrations,
             inodes_migrated=self.migrator.log.total_inodes_moved,
             failed_ops=self.failed_ops,
+            vanished_ops=self.vanished_ops,
+            fault_failed_ops=self.fault_failed_ops,
             cache_hit_rate=self.cache.hit_rate,
             data_ops_completed=self.data_ops_completed,
             engine_events=self.env.events_processed,
             kvstore=kv_stats,
+            faults=self.faults.summary() if self.faults is not None else None,
         )
 
 

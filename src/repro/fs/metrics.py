@@ -102,6 +102,10 @@ class SimResult:
     inodes_migrated: int = 0
     #: operations that failed best-effort semantics (races during replay)
     failed_ops: int = 0
+    #: failed_ops sub-counts: target directory vanished under a concurrent
+    #: mutation / retry budget exhausted against a faulty cluster
+    vanished_ops: int = 0
+    fault_failed_ops: int = 0
     cache_hit_rate: float = 0.0
     #: end-to-end file throughput when the data path is active (ops/s)
     data_ops_completed: int = 0
@@ -110,6 +114,8 @@ class SimResult:
     #: aggregated LSM StoreStats across MDSs (None when kvstore is off):
     #: raw counters plus read/write amplification and total run count
     kvstore: Optional[Dict[str, float]] = None
+    #: flat FaultInjector.summary() counters (None when no faults installed)
+    faults: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict:
         """Full JSON-ready serialisation, including the per-epoch arrays."""
@@ -129,10 +135,13 @@ class SimResult:
             "migrations": self.migrations,
             "inodes_migrated": self.inodes_migrated,
             "failed_ops": self.failed_ops,
+            "vanished_ops": self.vanished_ops,
+            "fault_failed_ops": self.fault_failed_ops,
             "cache_hit_rate": self.cache_hit_rate,
             "data_ops_completed": self.data_ops_completed,
             "engine_events": self.engine_events,
             "kvstore": self.kvstore,
+            "faults": self.faults,
             "per_epoch": [e.to_dict() for e in self.per_epoch],
         }
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Generator, List
 
 from repro.cluster.migration import MigrationDecision, MigrationLog
+from repro.fs.faults.errors import FaultError
 
 __all__ = ["Migrator"]
 
@@ -43,6 +44,12 @@ class Migrator:
                 fs.stale_decisions += 1
                 self._m_stale.inc()
                 continue
+            if not fs.servers[d.dst].up:
+                # the destination crashed between planning and apply: the
+                # export cannot land, so authority stays where it is
+                fs.stale_decisions += 1
+                self._m_stale.inc()
+                continue
             if fs.use_kvstore:
                 self._move_records(d)
             rec = self.log.apply(fs.pmap, d, epoch=epoch)
@@ -50,9 +57,20 @@ class Migrator:
             self._m_inodes.inc(rec.inodes_moved)
             cost = rec.inodes_moved * self.cost_per_inode_ms
             if cost > 0:
-                # source packs, destination ingests — both are busy
-                yield from fs.servers[d.src].service(cost)
-                yield from fs.servers[d.dst].service(cost)
+                # source packs, destination ingests — both are busy.  A dead
+                # source cannot pack: its subtrees are *evacuated* from the
+                # surviving replica of the partition map, so only the
+                # destination's ingest cost is charged.  A crash edge landing
+                # mid-charge forfeits the remaining pack/ingest time: the
+                # repin above is already authoritative, journal replay covers
+                # the rest on restart.
+                for mds in (d.src, d.dst):
+                    if not fs.servers[mds].up:
+                        continue
+                    try:
+                        yield from fs.servers[mds].service(cost)
+                    except FaultError:
+                        pass
 
     def _move_records(self, d: MigrationDecision) -> None:
         """Move every directory's records from its *current* owner to the dst.

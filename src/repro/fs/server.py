@@ -9,6 +9,13 @@ drained by the epoch driver into :class:`~repro.fs.metrics.EpochMetrics`.
 When observability is on, the same counters also publish into the metrics
 registry (labelled by MDS id) and :meth:`service` decomposes each visit into
 queue wait vs. service time on the caller's :class:`~repro.obs.tracing.Span`.
+
+Crash semantics (active only when a :class:`~repro.fs.faults.FaultInjector`
+is attached): a crashed server aborts the request it was servicing, drains
+its queue by failing each waiter as its slot is granted, and — after
+:meth:`restart` — serves at the schedule's warm-up factor until its caches
+are hot again.  ``incarnation`` increments on every crash so a request that
+straddles a crash+restart still observes the failure.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
+from repro.fs.faults.errors import MdsCrashedError, MdsUnavailableError
 from repro.kvstore import LSMStore
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.sim import Environment, Resource
@@ -38,6 +46,10 @@ class MdsServer:
         self.env = env
         self.mds_id = mds_id
         self.resource = Resource(env, capacity=service_concurrency)
+        #: liveness + crash generation; only consulted when faults are attached
+        self.up = True
+        self.incarnation = 0
+        self._faults = None
         self.store: Optional[LSMStore] = LSMStore(memtable_limit=512) if use_kvstore else None
         # epoch-scoped counters (drained by the driver)
         self.epoch_busy_ms = 0.0
@@ -57,6 +69,20 @@ class MdsServer:
             "mds_busy_ms_live_total", "service busy-ms accumulated (live)"
         ).labels(mds=label)
 
+    # ------------------------------------------------------------ fault hooks
+    def attach_faults(self, injector) -> None:
+        """Install the run's fault injector view (slowdowns, crash checks)."""
+        self._faults = injector
+
+    def crash(self) -> None:
+        """Go down: in-flight service is aborted, queued waiters fail on grant."""
+        self.up = False
+        self.incarnation += 1
+
+    def restart(self) -> None:
+        """Come back up; warm-up degradation is the schedule's concern."""
+        self.up = True
+
     def count_rpc(self, n: int = 1) -> None:
         self.epoch_rpcs += n
         self.total_rpcs += n
@@ -72,17 +98,42 @@ class MdsServer:
         When a :class:`~repro.obs.tracing.Span` is supplied the queue wait
         (time between requesting the worker slot and being granted it) and
         the service hold are added to it — measurement only, no extra events.
+
+        With faults attached, raises :class:`~repro.fs.faults.errors.
+        MdsUnavailableError` when the server is down (entry or grant — the
+        latter is how a crashed server's queue drains) and :class:`~repro.fs.
+        faults.errors.MdsCrashedError` when a crash lands mid-service; the
+        lost hold time is charged to ``span.fault_wait_ms``, not busy time.
         """
+        faults = self._faults
+        if faults is not None:
+            if not self.up:
+                raise MdsUnavailableError(self.mds_id)
+            # degradation (slowdown window or restart warm-up) applies at the
+            # moment the request enters service, as in the legacy injector
+            duration_ms *= faults.service_factor(self.mds_id, self.env.now)
         with self.resource.request() as req:
             if span is not None:
                 enqueued_at = self.env.now
                 yield req
                 span.queue_ms += self.env.now - enqueued_at
-                span.service_ms += duration_ms
             else:
                 yield req
+            if faults is not None:
+                if not self.up:
+                    raise MdsUnavailableError(self.mds_id)
+                incarnation = self.incarnation
             if duration_ms > 0:
                 yield self.env.timeout(duration_ms)
+            if faults is not None and (not self.up or self.incarnation != incarnation):
+                # the work is lost: the client paid the hold but the server
+                # crashed under it — no busy time, a typed abort instead
+                faults.count_service_abort()
+                if span is not None:
+                    span.fault_wait_ms += duration_ms
+                raise MdsCrashedError(self.mds_id)
+            if span is not None:
+                span.service_ms += duration_ms
             self.epoch_busy_ms += duration_ms
             self.total_busy_ms += duration_ms
             self._m_busy.inc(duration_ms)

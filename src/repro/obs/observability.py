@@ -115,6 +115,13 @@ class Observability:
                         mds=label
                     ).set(value)
 
+        if getattr(fs, "faults", None) is not None:
+            for name, value in fs.faults.summary().items():
+                reg.gauge(f"faults_{name}", f"fault injection {name}").set(value)
+            reg.gauge(
+                "faults_ops_vanished_total", "ops whose target dir vanished"
+            ).set(fs.vanished_ops)
+
         if self.audit is not None:
             for name, value in self.audit.summary().items():
                 reg.gauge(f"balancer_{name}", f"audit {name}").set(value)

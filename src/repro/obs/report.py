@@ -1,11 +1,12 @@
 """Trace analysis: the latency-decomposition report behind ``repro report``.
 
 Reads a span JSONL file (or in-memory spans) and answers "where did the
-latency go": mean queue wait vs. MDS service vs. network, overall and per
-operation type, plus resolution/cache behaviour.  The decomposition is an
-identity — ``queue + service + net = latency`` per span — so the component
-means must sum to the mean latency; the report prints the residual and the
-CLI treats a residual above 1% as a tracing bug.
+latency go": mean queue wait vs. MDS service vs. network vs. fault waiting,
+overall and per operation type, plus resolution/cache behaviour.  The
+decomposition is an identity — ``queue + service + net + fault_wait =
+latency`` per span (``fault_wait`` is zero on healthy runs) — so the
+component means must sum to the mean latency; the report prints the residual
+and the CLI treats a residual above 1% as a tracing bug.
 """
 
 from __future__ import annotations
@@ -42,6 +43,9 @@ class Decomposition:
     queue_ms: float = 0.0
     service_ms: float = 0.0
     net_ms: float = 0.0
+    fault_wait_ms: float = 0.0
+    retries: int = 0
+    failovers: int = 0
     rpcs: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -55,7 +59,7 @@ class Decomposition:
 
     @property
     def components_sum_ms(self) -> float:
-        return self.queue_ms + self.service_ms + self.net_ms
+        return self.queue_ms + self.service_ms + self.net_ms + self.fault_wait_ms
 
     @property
     def residual_fraction(self) -> float:
@@ -76,6 +80,10 @@ class Decomposition:
         self.queue_ms += span["queue_ms"]
         self.service_ms += span["service_ms"]
         self.net_ms += span["net_ms"]
+        # schema v1 spans predate the fault layer; they carry no fault fields
+        self.fault_wait_ms += span.get("fault_wait_ms", 0.0)
+        self.retries += span.get("retries", 0)
+        self.failovers += span.get("failovers", 0)
         self.rpcs += span["rpcs"]
         self.cache_hits += span["cache_hits"]
         self.cache_misses += span["cache_misses"]
@@ -103,6 +111,10 @@ def _component_rows(d: Decomposition) -> List[List[Any]]:
         ["MDS service", d.service_ms / n, d.service_ms / n / mean],
         ["network (RPC)", d.net_ms / n, d.net_ms / n / mean],
     ]
+    if d.fault_wait_ms > 0:
+        rows.append(
+            ["fault waiting", d.fault_wait_ms / n, d.fault_wait_ms / n / mean]
+        )
     rows.append(
         ["sum of components", d.components_sum_ms / n, d.components_sum_ms / n / mean]
     )
@@ -139,6 +151,11 @@ def render_trace_report(spans: List[Dict[str, Any]], source: str = "") -> str:
         f"decomposition residual: {resid:.3%} of mean latency"
         + (" (WITHIN 1% tolerance)" if resid <= 0.01 else " (EXCEEDS 1% tolerance!)")
     )
+    if d.retries or d.failovers or d.fault_wait_ms > 0:
+        parts.append(
+            f"fault activity: {d.retries:,} retries, {d.failovers:,} failovers, "
+            f"{d.fault_wait_ms / (d.n_spans or 1) * 1000:.1f} us/op waiting on faults"
+        )
     op_rows = []
     for op, od in sorted(d.by_op.items(), key=lambda kv: -kv[1].n_spans):
         n = od.n_spans

@@ -6,12 +6,16 @@ where the virtual time went:
 * ``queue_ms`` — time spent waiting for an MDS worker slot (Eq. 1's ``Q_i``);
 * ``service_ms`` — time the MDS spent executing the request (Eq. 2's RCT);
 * ``net_ms`` — network round trips (``m · RTT`` plus gather/forward hops);
+* ``fault_wait_ms`` — virtual time lost to injected faults: RPC-timeout
+  waits, refused-connection round trips, aborted service holds, and retry
+  backoff sleeps (always 0.0 on healthy runs);
 * counters — RPCs issued, MDSs visited, cache hits/misses during path
-  resolution, kvstore gets and runs probed.
+  resolution, kvstore gets and runs probed, fault retries and failovers.
 
-``queue_ms + service_ms + net_ms`` equals the client-observed latency for
-every metadata op (asserted within float noise by the tracing tests); the
-``repro report`` command aggregates exactly this identity.
+``queue_ms + service_ms + net_ms + fault_wait_ms`` equals the
+client-observed latency for every metadata op (asserted within float noise
+by the tracing tests, and under arbitrary fault schedules by the property
+suite); the ``repro report`` command aggregates exactly this identity.
 
 Spans are passive: recording draws no RNG values and schedules no events, so
 a traced run replays bit-identically to an untraced one.  The shared
@@ -28,7 +32,8 @@ from repro.costmodel.optypes import OpType
 __all__ = ["Span", "Tracer", "JsonlTracer", "NULL_TRACER", "SPAN_SCHEMA_VERSION"]
 
 #: bump when span fields change incompatibly (consumers check this)
-SPAN_SCHEMA_VERSION = 1
+#: v2: fault fields (fault_wait_ms, retries, failovers, fault reason)
+SPAN_SCHEMA_VERSION = 2
 
 _OP_NAMES = {int(v): v.name.lower() for v in OpType}
 
@@ -55,6 +60,10 @@ class Span:
         "kv_gets",
         "kv_probes",
         "migration_recalls",
+        "fault_wait_ms",
+        "retries",
+        "failovers",
+        "fault",
         "failed",
     )
 
@@ -77,6 +86,10 @@ class Span:
         self.kv_gets = 0
         self.kv_probes = 0
         self.migration_recalls = 0
+        self.fault_wait_ms = 0.0
+        self.retries = 0
+        self.failovers = 0
+        self.fault = ""
         self.failed = False
 
     @property
@@ -104,6 +117,10 @@ class Span:
             "kv_gets": self.kv_gets,
             "kv_probes": self.kv_probes,
             "lease_recalls": self.migration_recalls,
+            "fault_wait_ms": self.fault_wait_ms,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "fault": self.fault,
             "failed": self.failed,
         }
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Regenerate the golden healthy-run fixtures in this directory.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/capture.py
+
+Only rerun this when a change *intends* to shift baseline results — the
+whole point of the fixtures (tests/test_golden_baseline.py) is to catch
+fault-path refactors that silently move the healthy numbers.  The matrix is
+3 seeds x 2 workloads at a small scale so a full capture stays under a
+minute.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+#: the fixture matrix: (workload kind, seed)
+MATRIX = [(kind, seed) for kind in ("rw", "wi") for seed in (0, 1, 2)]
+
+#: run shape — small enough for CI, big enough to cross several epochs
+N_OPS = 2500
+N_MDS = 3
+N_CLIENTS = 12
+EPOCH_MS = 60.0
+CACHE_DEPTH = 2
+
+
+def run_one(kind: str, seed: int) -> dict:
+    from repro.balancers import LunulePolicy
+    from repro.costmodel import CostParams
+    from repro.fs import SimConfig, run_simulation
+    from repro.harness.experiments import build_workload
+
+    built, trace = build_workload(kind, N_OPS, seed)
+    config = SimConfig(
+        n_mds=N_MDS,
+        n_clients=N_CLIENTS,
+        epoch_ms=EPOCH_MS,
+        params=CostParams(cache_depth=CACHE_DEPTH),
+        seed=seed,
+    )
+    return run_simulation(built.tree, trace, LunulePolicy(), config).to_dict()
+
+
+def fixture_path(kind: str, seed: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"baseline_{kind}_seed{seed}.json"
+
+
+def main() -> None:
+    for kind, seed in MATRIX:
+        result = run_one(kind, seed)
+        path = fixture_path(kind, seed)
+        with open(path, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {path} (ops={result['ops_completed']}, "
+              f"duration={result['duration_ms']:.3f} ms)")
+
+
+if __name__ == "__main__":
+    main()

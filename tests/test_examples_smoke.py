@@ -25,3 +25,14 @@ def test_metaopt_planner_runs():
     assert out.returncode == 0, out.stderr
     assert "migration plan" in out.stdout
     assert "JCT improvement" in out.stdout
+
+
+def test_crash_failover_demo_runs():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "crash_failover_demo.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    # the demo asserts the zero-lost-ops invariant itself; check the summary
+    assert "zero-lost-ops invariant holds" in out.stdout
+    assert "crashes/restarts     : 1/1" in out.stdout

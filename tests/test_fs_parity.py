@@ -145,3 +145,53 @@ def test_simulation_deterministic():
     assert r1.ops_completed == r2.ops_completed
     assert r1.total_rpcs == r2.total_rpcs
     assert r1.mean_latency_ms == r2.mean_latency_ms
+
+
+# ------------------------------------------------------------- fault parity
+
+
+def test_empty_fault_schedule_is_bit_identical_to_none():
+    """Installing an empty schedule must not move a single float: the fault
+    layer's healthy path draws no RNG and schedules no events."""
+    from repro.fs.faults import FaultSchedule
+
+    tree, ref, owners, trace, params = build_world(seed=5)
+    cfg_plain = SimConfig(n_mds=4, n_clients=8, epoch_ms=5.0, params=params)
+    plain = run_simulation(tree, trace, FrozenPolicy(owners), cfg_plain).to_dict()
+
+    tree2, _, owners2, trace2, _ = build_world(seed=5)
+    cfg_faulty = SimConfig(
+        n_mds=4, n_clients=8, epoch_ms=5.0, params=params, faults=FaultSchedule([])
+    )
+    empty = run_simulation(tree2, trace2, FrozenPolicy(owners2), cfg_faulty).to_dict()
+
+    # the faults summary is the only legitimate difference
+    assert plain.pop("faults") is None
+    faults = empty.pop("faults")
+    assert faults["events_scheduled"] == 0 and faults["retries"] == 0
+    assert plain == empty
+
+
+def test_same_seed_same_schedule_bit_identical():
+    """Fault runs are as deterministic as healthy ones: same seed + same
+    schedule => identical results, including every fault counter."""
+    from repro.fs.faults import Crash, FaultSchedule, RpcDrop
+
+    sched = FaultSchedule(
+        [
+            Crash(mds=1, start_ms=2.0, end_ms=4.0, warmup_ms=1.0, warmup_factor=2.0),
+            RpcDrop(mds=2, start_ms=5.0, end_ms=8.0, probability=0.4),
+        ]
+    )
+
+    def one_run():
+        tree, ref, owners, trace, params = build_world(seed=6)
+        cfg = SimConfig(
+            n_mds=4, n_clients=8, epoch_ms=5.0, params=params, seed=6, faults=sched
+        )
+        return run_simulation(tree, trace, FrozenPolicy(owners), cfg).to_dict()
+
+    r1, r2 = one_run(), one_run()
+    assert r1 == r2
+    # the schedule must actually have fired for this to mean anything
+    assert r1["faults"]["crashes"] == 1

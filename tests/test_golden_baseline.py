@@ -1,0 +1,77 @@
+"""Golden-regression suite: healthy runs must not drift.
+
+The fixtures under ``tests/golden/`` were captured from the tree *before*
+the fault-injection subsystem landed (see ``tests/golden/capture.py``), so
+passing here proves the fault layer's no-fault path is free: every scalar
+and every per-epoch array of a healthy run is bit-identical to the
+pre-fault build, across 3 seeds x 2 workload families.
+
+Keys added to ``SimResult.to_dict()`` after the capture are tolerated (they
+are listed explicitly — an *unknown* new key is a failure, forcing the
+author to either re-capture deliberately or add it to the allowlist).
+"""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: keys newer than the captured fixtures, allowed to appear in fresh runs
+KEYS_ADDED_SINCE_CAPTURE = {"vanished_ops", "fault_failed_ops", "faults"}
+
+#: (workload kind, seed) — mirrors capture.py's MATRIX
+MATRIX = [(kind, seed) for kind in ("rw", "wi") for seed in (0, 1, 2)]
+
+
+def _run_one(kind: str, seed: int) -> dict:
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "golden_capture", GOLDEN_DIR / "capture.py"
+    )
+    cap = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(cap)
+    return cap.run_one(kind, seed)
+
+
+def _assert_equal(path: str, old, new) -> None:
+    if isinstance(old, float):
+        # captured via JSON, so exact decimal round-trips: demand bitwise
+        # equality (math.isclose with rel 1e-12 only as an inf/nan guard)
+        assert old == new or math.isclose(old, new, rel_tol=1e-12, abs_tol=0.0), (
+            f"{path}: {old!r} != {new!r}"
+        )
+    elif isinstance(old, dict):
+        assert isinstance(new, dict), f"{path}: expected dict, got {type(new)}"
+        assert set(old) <= set(new), f"{path}: keys lost: {set(old) - set(new)}"
+        for k in old:
+            _assert_equal(f"{path}.{k}", old[k], new[k])
+    elif isinstance(old, list):
+        assert isinstance(new, list) and len(old) == len(new), (
+            f"{path}: length {len(old)} != {len(new)}"
+        )
+        for i, (a, b) in enumerate(zip(old, new)):
+            _assert_equal(f"{path}[{i}]", a, b)
+    else:
+        assert old == new, f"{path}: {old!r} != {new!r}"
+
+
+@pytest.mark.parametrize("kind,seed", MATRIX)
+def test_healthy_run_matches_golden_fixture(kind: str, seed: int):
+    fixture = GOLDEN_DIR / f"baseline_{kind}_seed{seed}.json"
+    old = json.loads(fixture.read_text())
+    new = _run_one(kind, seed)
+    _assert_equal(f"baseline_{kind}_seed{seed}", old, new)
+    unknown = set(new) - set(old) - KEYS_ADDED_SINCE_CAPTURE
+    assert not unknown, (
+        f"unexpected new result keys {sorted(unknown)}: re-capture the goldens "
+        f"deliberately or extend KEYS_ADDED_SINCE_CAPTURE"
+    )
+
+
+def test_fixture_matrix_is_complete():
+    for kind, seed in MATRIX:
+        assert (GOLDEN_DIR / f"baseline_{kind}_seed{seed}.json").exists()

@@ -176,3 +176,138 @@ def test_lsm_scan_always_sorted(cmds):
     keys = [k for k, _ in store.scan(b"", b"z")]
     assert keys == sorted(keys)
     assert len(keys) == len(set(keys))
+
+
+# ------------------------------------------------------------ fault schedules
+
+SIM_SET = settings(
+    max_examples=12,  # each example is a full (small) DES run
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_N_MDS = 3
+
+
+@st.composite
+def fault_schedules(draw):
+    """Arbitrary (but servable) fault schedules for a 3-MDS cluster."""
+    from repro.fs.faults import (
+        Crash,
+        FaultSchedule,
+        Partition,
+        RetryPolicy,
+        RpcDelay,
+        RpcDrop,
+        Slowdown,
+    )
+
+    events = []
+    for _ in range(draw(st.integers(0, 4))):
+        kind = draw(st.sampled_from(["slowdown", "crash", "drop", "delay", "partition"]))
+        start = draw(st.floats(0.0, 60.0, allow_nan=False, allow_infinity=False))
+        length = draw(st.floats(0.5, 40.0, allow_nan=False, allow_infinity=False))
+        end = start + length
+        if kind == "crash":
+            # crashes stay off MDS 2 so the cluster is always servable
+            mds = draw(st.integers(0, 1))
+            events.append(
+                Crash(
+                    mds=mds,
+                    start_ms=start,
+                    end_ms=end,
+                    warmup_ms=draw(st.floats(0.0, 10.0)),
+                    warmup_factor=draw(st.floats(1.0, 4.0)),
+                )
+            )
+            continue
+        mds = draw(st.integers(0, _N_MDS - 1))
+        if kind == "slowdown":
+            events.append(
+                Slowdown(mds=mds, start_ms=start, end_ms=end, factor=draw(st.floats(1.0, 6.0)))
+            )
+        elif kind == "drop":
+            events.append(
+                RpcDrop(mds=mds, start_ms=start, end_ms=end, probability=draw(st.floats(0.05, 0.9)))
+            )
+        elif kind == "delay":
+            events.append(
+                RpcDelay(mds=mds, start_ms=start, end_ms=end, extra_ms=draw(st.floats(0.01, 0.5)))
+            )
+        else:
+            events.append(Partition(mds=mds, start_ms=start, end_ms=end))
+    retry = RetryPolicy(
+        max_attempts=draw(st.integers(2, 6)),
+        backoff_base_ms=draw(st.floats(0.05, 0.5)),
+        backoff_max_ms=draw(st.floats(1.0, 5.0)),
+        jitter=draw(st.floats(0.0, 1.0)),
+    )
+    return FaultSchedule(events, retry=retry)
+
+
+def _run_faulty(schedule, seed):
+    from repro.balancers import LunulePolicy
+    from repro.costmodel import CostParams
+    from repro.fs import SimConfig, run_simulation
+    from repro.obs import Observability
+    from repro.obs.tracing import JsonlTracer
+    from repro.sim import SeedSequenceFactory
+    from repro.workloads import generate_trace_rw
+
+    built, trace = generate_trace_rw(SeedSequenceFactory(seed).stream("w"), n_ops=500)
+    obs = Observability(tracer=JsonlTracer(None))
+    cfg = SimConfig(
+        n_mds=_N_MDS,
+        n_clients=6,
+        epoch_ms=15.0,
+        params=CostParams(cache_depth=2),
+        seed=seed,
+        faults=schedule,
+        obs=obs,
+    )
+    result = run_simulation(built.tree, trace, LunulePolicy(), cfg)
+    return result, len(trace), obs.tracer.spans
+
+
+@given(fault_schedules(), st.integers(0, 3))
+@SIM_SET
+def test_no_op_is_ever_lost_under_any_schedule(schedule, seed):
+    """The zero-lost-ops invariant: under ANY fault schedule, every issued
+    op completes, fails typed, or vanishes under a namespace race."""
+    result, n_ops, spans = _run_faulty(schedule, seed)
+    d = result.to_dict()
+    assert d["ops_completed"] + d["fault_failed_ops"] + d["vanished_ops"] == n_ops
+    assert len(spans) == n_ops
+    # fault bookkeeping agrees with the result
+    assert d["faults"]["ops_failed"] == d["fault_failed_ops"]
+
+
+@given(fault_schedules(), st.integers(0, 3))
+@SIM_SET
+def test_span_identity_holds_under_faults(schedule, seed):
+    """queue + service + net + fault_wait == latency, exactly, per span —
+    fault waits (timeouts, backoff, aborted holds) never leak time."""
+    result, n_ops, spans = _run_faulty(schedule, seed)
+    for s in spans:
+        d = s.to_dict()
+        components = d["queue_ms"] + d["service_ms"] + d["net_ms"] + d["fault_wait_ms"]
+        assert components == pytest.approx(d["latency_ms"], rel=1e-9, abs=1e-12)
+        # failed spans carry a typed reason; successful ones carry none
+        if d["failed"]:
+            assert d["fault"] in (
+                "vanished", "mds_down", "service_aborted", "rpc_timeout",
+                "rpc_dropped", "retries_exhausted",
+            )
+        else:
+            assert d["fault"] == ""
+        assert d["retries"] >= d["failovers"] >= 0
+
+
+@given(fault_schedules(), st.integers(0, 3))
+@SIM_SET
+def test_virtual_time_monotone_under_faults(schedule, seed):
+    """Spans never run backwards and the run's duration bounds them all."""
+    result, n_ops, spans = _run_faulty(schedule, seed)
+    for s in spans:
+        assert s.end_ms >= s.start_ms >= 0.0
+    assert result.duration_ms == pytest.approx(max(s.end_ms for s in spans))
