@@ -3,7 +3,9 @@
 Every benchmark regenerates one of the paper's tables/figures: it runs the
 experiment once inside ``benchmark.pedantic`` (timing the full regeneration),
 prints the paper-vs-measured report, and persists it under
-``benchmarks/results/`` as both text and JSON.
+``benchmarks/results/`` — JSON persistence goes through the
+``repro.bench.store`` stable writer (sorted keys, trailing newline), the
+same writer the ``BENCH_*.json`` perf artifacts use.
 
 Scale with ``REPRO_SCALE=smoke|default|full`` (default: ``default``).
 """
@@ -14,6 +16,7 @@ import pathlib
 
 import pytest
 
+from repro.bench.store import write_json
 from repro.harness.config import get_scale
 from repro.harness.report import Report
 
@@ -31,7 +34,7 @@ def save_report():
 
     def _save(report: Report, name: str) -> Report:
         (RESULTS_DIR / f"{name}.txt").write_text(report.render() + "\n")
-        (RESULTS_DIR / f"{name}.json").write_text(report.to_json() + "\n")
+        write_json(RESULTS_DIR / f"{name}.json", report.to_dict())
         print("\n" + report.render())
         return report
 

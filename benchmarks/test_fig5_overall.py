@@ -4,9 +4,16 @@
 Single / C-Hash / F-Hash / ML-tree / Origami; (b) single-thread latency.
 Paper shape: Origami highest throughput (3.86x single, 1.73x the best
 baseline); latency penalty ordering F-Hash > C-Hash > ML-tree ~ Origami.
+
+The strategy matrix comes from the ``fig5_overall`` bench scenario — the
+same registry entry ``repro bench run --scenario fig5_overall`` executes —
+so the paper figure and the perf-tracking artifact share one config source.
 """
 
+from repro.bench.scenario import get_scenario
 from repro.harness import experiments as E
+
+SCENARIO = get_scenario("fig5_overall")
 
 
 def test_fig5_overall(benchmark, scale, save_report):
@@ -15,6 +22,8 @@ def test_fig5_overall(benchmark, scale, save_report):
     )
     save_report(rep, "fig5_overall")
     tput = rep.data["throughput_x"]
+    # the figure covers exactly the registered scenario's variants
+    assert set(tput) == {v.strategy for v in SCENARIO.variants}
     # who-wins shape (the paper's central claim)
     assert tput["Origami"] > tput["C-Hash"] > tput["F-Hash"] > 1.0
     assert tput["Origami"] > tput["ML-tree"]

@@ -2,16 +2,27 @@
 
 Paper shape: baselines scale sub-linearly (balance vs locality tension);
 Origami is near-linear (about 2.7x at 3 MDSs) and keeps the lead at 5.
+
+The strategy×cluster-size matrix comes from the ``fig8_scalability`` bench
+scenario, shared with ``repro bench run --scenario fig8_scalability``.
 """
 
+from repro.bench.scenario import get_scenario
 from repro.harness import experiments as E
+
+SCENARIO = get_scenario("fig8_scalability")
 
 
 def test_fig8_scalability(benchmark, scale, save_report):
     rep = benchmark.pedantic(lambda: E.fig8_scalability(scale), rounds=1, iterations=1)
     save_report(rep, "fig8_scalability")
     data = rep.data["scalability"]
+    # every multi-MDS strategy in the scenario appears, at every cluster size
+    expected = {v.strategy for v in SCENARIO.variants if v.strategy != "Single"}
+    assert set(data) == expected
+    sizes = sorted({v.n_mds for v in SCENARIO.variants if v.strategy != "Single"})
     for name, series in data.items():
+        assert len(series) == len(sizes), name
         # more MDSs should never make 5-MDS worse than 2-MDS
         assert series[-1] >= series[0] * 0.9, name
     # Origami leads at full cluster size

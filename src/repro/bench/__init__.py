@@ -1,0 +1,85 @@
+"""``repro.bench`` — benchmark orchestration, versioned perf artifacts, and
+regression gating.
+
+The subsystem has four cooperating parts:
+
+* :mod:`~repro.bench.scenario` — a declarative **scenario registry**.  A
+  :class:`BenchScenario` names a workload family, a list of balancer
+  variants (strategy + cluster size + cache depth), a seed list, an
+  optional :class:`~repro.fs.faults.FaultSchedule`, and a default scale
+  tier.  The built-in scenarios subsume the configurations previously
+  hard-coded in ``benchmarks/test_fig*.py``.
+* :mod:`~repro.bench.runner` — a **parallel runner** that fans a
+  scenario's seed×variant matrix across cores with
+  :mod:`multiprocessing`; every run is keyed by its own deterministic
+  seed (via :mod:`repro.sim.rng`), so ``workers=1`` and ``workers=N``
+  produce identical artifacts.  Worker failures surface as typed
+  :class:`~repro.bench.runner.WorkerCrashError`, never a hang.
+* :mod:`~repro.bench.store` — a **schema-versioned result store** that
+  reads/writes ``BENCH_<scenario>.json`` artifacts: per-seed raw metrics,
+  aggregates (mean/p50/p95/p99 + bootstrap CIs), and an environment
+  fingerprint.  All JSON it emits is stable (sorted keys, trailing
+  newline) so artifact diffs stay reviewable.
+* :mod:`~repro.bench.compare` — a **comparator** that diffs two artifacts
+  and fails on configurable regression thresholds (e.g. mean +5%,
+  p99 +10%), direction-aware for higher-is-better metrics.
+
+Surfaced as ``python -m repro bench run|list|compare|report``.
+"""
+
+from repro.bench.scenario import (
+    BenchScenario,
+    BenchVariant,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.bench.execute import extract_metrics, run_variant
+from repro.bench.runner import BenchError, WorkerCrashError, run_scenario
+from repro.bench.store import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    artifact_path,
+    environment_fingerprint,
+    load_artifact,
+    stable_dumps,
+    strip_volatile,
+    write_artifact,
+    write_json,
+)
+from repro.bench.compare import (
+    DEFAULT_THRESHOLDS,
+    SMOKE_THRESHOLDS,
+    CompareResult,
+    compare_artifacts,
+)
+from repro.bench.report import render_artifact
+
+__all__ = [
+    "BenchScenario",
+    "BenchVariant",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "scenario_names",
+    "extract_metrics",
+    "run_variant",
+    "BenchError",
+    "WorkerCrashError",
+    "run_scenario",
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "artifact_path",
+    "environment_fingerprint",
+    "load_artifact",
+    "stable_dumps",
+    "strip_volatile",
+    "write_artifact",
+    "write_json",
+    "DEFAULT_THRESHOLDS",
+    "SMOKE_THRESHOLDS",
+    "CompareResult",
+    "compare_artifacts",
+    "render_artifact",
+]

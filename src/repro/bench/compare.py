@@ -1,0 +1,196 @@
+"""Artifact comparator: diff two ``BENCH_*.json`` files and gate regressions.
+
+Thresholds are a mapping ``metric -> max allowed regression fraction``,
+applied to each variant's *mean* aggregate.  Direction matters: for
+lower-is-better metrics (latency, RPC fan-out, imbalance) a regression is
+the candidate exceeding baseline×(1+frac); for higher-is-better metrics
+(throughput, cache hit rate) it is the candidate falling below
+baseline×(1−frac).  Metrics not in the threshold map are reported as
+informational rows but never gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.bench.store import ArtifactError
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "SMOKE_THRESHOLDS",
+    "THRESHOLD_PROFILES",
+    "CompareResult",
+    "compare_artifacts",
+    "is_higher_better",
+]
+
+#: the comparator's strict profile — e.g. mean RCT +5%, p99 +10%
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "mean_latency_ms": 0.05,
+    "p99_latency_ms": 0.10,
+    "steady_state_throughput": 0.05,
+    "throughput_ops_per_sec": 0.05,
+    "rpcs_per_request": 0.05,
+}
+
+#: relaxed profile for CI smoke runs (tiny traces are noisier)
+SMOKE_THRESHOLDS: Dict[str, float] = {
+    "mean_latency_ms": 0.25,
+    "p99_latency_ms": 0.40,
+    "steady_state_throughput": 0.25,
+    "throughput_ops_per_sec": 0.25,
+    "rpcs_per_request": 0.20,
+}
+
+THRESHOLD_PROFILES: Dict[str, Dict[str, float]] = {
+    "default": DEFAULT_THRESHOLDS,
+    "smoke": SMOKE_THRESHOLDS,
+}
+
+#: metrics where larger values are an improvement
+_HIGHER_IS_BETTER_PREFIXES = (
+    "throughput",
+    "steady_state_throughput",
+    "ops_completed",
+    "cache_hit_rate",
+)
+
+
+def is_higher_better(metric: str) -> bool:
+    return metric.startswith(_HIGHER_IS_BETTER_PREFIXES)
+
+
+@dataclass
+class CompareRow:
+    variant: str
+    metric: str
+    baseline: float
+    candidate: float
+    #: signed regression fraction: positive = got worse, direction-adjusted
+    regression_frac: float
+    threshold: Optional[float]
+    regressed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "regression_frac": self.regression_frac,
+            "threshold": self.threshold,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class CompareResult:
+    scenario: str
+    rows: List[CompareRow] = field(default_factory=list)
+    #: variants present in only one artifact (never gate, always reported)
+    missing_in_candidate: List[str] = field(default_factory=list)
+    missing_in_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CompareRow]:
+        return [r for r in self.rows if r.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        from repro.harness.report import format_table
+
+        gated = [r for r in self.rows if r.threshold is not None]
+        lines = [f"=== bench compare — {self.scenario} ==="]
+        if gated:
+            table_rows = [
+                [
+                    r.variant,
+                    r.metric,
+                    r.baseline,
+                    r.candidate,
+                    f"{r.regression_frac * 100:+.1f}%",
+                    f"{r.threshold * 100:.0f}%",
+                    "REGRESSED" if r.regressed else "ok",
+                ]
+                for r in gated
+            ]
+            lines.append(
+                format_table(
+                    ["variant", "metric", "baseline", "candidate", "worse by", "limit", "verdict"],
+                    table_rows,
+                )
+            )
+        for name in self.missing_in_candidate:
+            lines.append(f"! variant {name!r} missing from the candidate artifact")
+        for name in self.missing_in_baseline:
+            lines.append(f"! variant {name!r} missing from the baseline artifact")
+        n = len(self.regressions)
+        lines.append(
+            "PASS — no gated metric regressed beyond its threshold"
+            if self.ok
+            else f"FAIL — {n} gated metric{'s' if n != 1 else ''} regressed"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "rows": [r.to_dict() for r in self.rows],
+            "missing_in_candidate": self.missing_in_candidate,
+            "missing_in_baseline": self.missing_in_baseline,
+        }
+
+
+def _regression_fraction(metric: str, baseline: float, candidate: float) -> float:
+    """Positive fraction = candidate is worse, whatever the metric's direction."""
+    if baseline == 0.0:
+        if candidate == 0.0:
+            return 0.0
+        return float("inf") if not is_higher_better(metric) else -1.0
+    delta = (candidate - baseline) / abs(baseline)
+    return -delta if is_higher_better(metric) else delta
+
+
+def compare_artifacts(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    thresholds: Optional[Mapping[str, float]] = None,
+) -> CompareResult:
+    """Diff two loaded artifacts; gate on ``thresholds`` (default profile
+    when None).  Raises :class:`ArtifactError` if the artifacts describe
+    different scenarios."""
+    if baseline["scenario"] != candidate["scenario"]:
+        raise ArtifactError(
+            f"cannot compare different scenarios: baseline is "
+            f"{baseline['scenario']!r}, candidate is {candidate['scenario']!r}"
+        )
+    limits = dict(DEFAULT_THRESHOLDS if thresholds is None else thresholds)
+    base_agg = baseline["aggregates"]
+    cand_agg = candidate["aggregates"]
+    result = CompareResult(scenario=baseline["scenario"])
+    result.missing_in_candidate = sorted(set(base_agg) - set(cand_agg))
+    result.missing_in_baseline = sorted(set(cand_agg) - set(base_agg))
+    for variant in sorted(set(base_agg) & set(cand_agg)):
+        b_metrics, c_metrics = base_agg[variant], cand_agg[variant]
+        for metric in sorted(set(b_metrics) & set(c_metrics)):
+            b_mean = float(b_metrics[metric]["mean"])
+            c_mean = float(c_metrics[metric]["mean"])
+            frac = _regression_fraction(metric, b_mean, c_mean)
+            limit = limits.get(metric)
+            result.rows.append(
+                CompareRow(
+                    variant=variant,
+                    metric=metric,
+                    baseline=b_mean,
+                    candidate=c_mean,
+                    regression_frac=frac,
+                    threshold=limit,
+                    regressed=limit is not None and frac > limit,
+                )
+            )
+    return result

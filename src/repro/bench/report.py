@@ -1,0 +1,47 @@
+"""Human-readable rendering of a benchmark artifact."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["render_artifact", "HEADLINE_COLUMNS"]
+
+#: (metric key, column header, scale factor) for the summary table
+HEADLINE_COLUMNS = (
+    ("steady_state_throughput", "kops/s", 1e-3),
+    ("mean_latency_ms", "lat us", 1e3),
+    ("p99_latency_ms", "p99 us", 1e3),
+    ("rpcs_per_request", "rpc/req", 1.0),
+    ("migrations", "migr", 1.0),
+    ("cache_hit_rate", "hit", 1.0),
+)
+
+
+def render_artifact(artifact: Dict[str, Any]) -> str:
+    from repro.harness.report import format_table
+
+    env = artifact.get("environment", {})
+    header = [
+        f"=== BENCH {artifact['scenario']} (schema v{artifact['schema_version']}) ===",
+        f"scale {artifact['scale']} · seeds {artifact['seeds']} · "
+        f"{len(artifact['runs'])} runs · "
+        f"git {str(env.get('git_sha'))[:10]} · python {env.get('python')}",
+    ]
+    rows: List[List[Any]] = []
+    for variant, metrics in artifact["aggregates"].items():
+        row: List[Any] = [variant]
+        for key, _hdr, factor in HEADLINE_COLUMNS:
+            agg = metrics.get(key)
+            row.append(agg["mean"] * factor if agg is not None else "-")
+        tput = metrics.get("steady_state_throughput")
+        if tput is not None and tput["n"] > 1:
+            row.append(f"[{tput['ci95_lo'] / 1e3:.1f}, {tput['ci95_hi'] / 1e3:.1f}]")
+        else:
+            row.append("-")
+        rows.append(row)
+    table = format_table(
+        ["variant", *[hdr for _k, hdr, _f in HEADLINE_COLUMNS], "tput 95% CI"],
+        rows,
+        "per-variant aggregates (mean over seeds)",
+    )
+    return "\n".join([*header, "", table])

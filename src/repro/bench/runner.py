@@ -1,0 +1,158 @@
+"""Parallel scenario runner: fan the seed×variant matrix across cores.
+
+Each (variant, seed) cell is an independent, fully self-seeding run —
+workers receive only *names* (scenario, variant, scale tier) and re-resolve
+them from the registry, so the artifact a scenario produces is identical
+for ``workers=1`` (inline, no pool) and ``workers=N`` (process pool):
+results are keyed, sorted into canonical (variant, seed) order, and only
+then aggregated in the parent.
+
+Failure policy: a worker that raises — or dies outright — surfaces as a
+typed :class:`WorkerCrashError` naming the cell, never a silent hang; the
+pool is torn down eagerly and a hard deadline bounds the wait.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.bench.execute import extract_metrics, run_variant
+from repro.bench.scenario import BenchScenario, get_scenario
+from repro.bench.stats import aggregate_runs
+from repro.bench.store import build_artifact
+
+__all__ = ["BenchError", "WorkerCrashError", "run_scenario", "DEADLINE_S"]
+
+
+class BenchError(RuntimeError):
+    """Base error for the benchmark runner."""
+
+
+class WorkerCrashError(BenchError):
+    """A benchmark worker raised, died, or missed the deadline."""
+
+
+#: hard per-scenario deadline so a wedged worker can never hang the runner
+DEADLINE_S = float(os.environ.get("REPRO_BENCH_DEADLINE_S", 1800))
+
+#: test hook — when set, workers exit immediately without reporting back,
+#: simulating a hard crash (SIGKILL/OOM) rather than a Python exception
+_CRASH_ENV = "REPRO_BENCH_TEST_CRASH"
+
+
+def _run_cell(job: Tuple[str, str, int, str]) -> Dict[str, Any]:
+    """Execute one (scenario, variant, seed) cell; top-level for pickling."""
+    scenario_name, variant_name, seed, scale_name = job
+    if os.environ.get(_CRASH_ENV):
+        os._exit(17)
+    scenario = get_scenario(scenario_name)
+    variant = scenario.variant(variant_name)
+    result, obs = run_variant(scenario, variant, seed, scale=scale_name, collect_obs=True)
+    return {
+        "variant": variant_name,
+        "seed": int(seed),
+        "strategy": variant.strategy,
+        "metrics": extract_metrics(result, obs),
+    }
+
+
+def _mp_context():
+    # fork (where available) keeps dynamically-registered scenarios and the
+    # parent's trained-model cache visible to workers; spawn re-imports and
+    # would only see import-time registrations.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_scenario(
+    scenario: BenchScenario,
+    scale: Optional[str] = None,
+    workers: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    deadline_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Run a scenario's full matrix and return the schema-v1 artifact dict.
+
+    ``scale`` is a tier name (defaults to the scenario's own tier);
+    ``seeds`` overrides the scenario's seed list; ``workers`` sets the pool
+    size (1 = inline execution, the determinism reference).
+    """
+    from repro.harness.config import get_scale
+
+    scale_obj = get_scale(scale or scenario.scale)
+    seed_list = tuple(int(s) for s in seeds) if seeds else scenario.seeds
+    if len(set(seed_list)) != len(seed_list):
+        raise BenchError(f"duplicate seeds in {seed_list!r}")
+    jobs = [
+        (scenario.name, v.name, s, scale_obj.name)
+        for v, s in scenario.runs(seed_list)
+    ]
+    workers = max(1, min(int(workers), len(jobs)))
+    deadline = DEADLINE_S if deadline_s is None else float(deadline_s)
+
+    t0 = time.perf_counter()
+    if workers == 1:
+        rows = []
+        for job in jobs:
+            try:
+                rows.append(_run_cell(job))
+            except Exception as exc:
+                raise WorkerCrashError(
+                    f"benchmark worker failed on {job[0]}/{job[1]} seed={job[2]}: {exc}"
+                ) from exc
+    else:
+        rows = _run_pooled(jobs, workers, deadline)
+
+    order = {v.name: i for i, v in enumerate(scenario.variants)}
+    rows.sort(key=lambda r: (order[r["variant"]], r["seed"]))
+    aggregates = aggregate_runs(rows, scenario.name)
+    return build_artifact(
+        scenario.to_dict(),
+        scale_obj.name,
+        seed_list,
+        rows,
+        aggregates,
+        wall_s=time.perf_counter() - t0,
+        workers=workers,
+    )
+
+
+def _run_pooled(jobs, workers: int, deadline: float):
+    rows = []
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
+        futures = {pool.submit(_run_cell, job): job for job in jobs}
+        pending = set(futures)
+        end = time.monotonic() + deadline
+        while pending:
+            done, pending = wait(
+                pending, timeout=max(0.0, end - time.monotonic()),
+                return_when=FIRST_EXCEPTION,
+            )
+            if not done:
+                for f in pending:
+                    f.cancel()
+                raise WorkerCrashError(
+                    f"benchmark runner hit the {deadline:.0f}s deadline with "
+                    f"{len(pending)} cells still pending"
+                )
+            for future in done:
+                job = futures[future]
+                cell = f"{job[0]}/{job[1]} seed={job[2]}"
+                try:
+                    rows.append(future.result())
+                except BrokenProcessPool as exc:
+                    raise WorkerCrashError(
+                        f"benchmark worker died while running {cell}"
+                    ) from exc
+                except BenchError:
+                    raise
+                except Exception as exc:
+                    raise WorkerCrashError(
+                        f"benchmark worker failed on {cell}: {exc}"
+                    ) from exc
+    return rows

@@ -1,0 +1,76 @@
+"""Aggregate statistics for benchmark artifacts.
+
+Mean / percentiles plus a bootstrap confidence interval on the mean.  The
+bootstrap is seeded through :class:`repro.sim.rng.SeedSequenceFactory`
+keyed by the (scenario, variant, metric) triple, so aggregation is
+bit-reproducible and — because it always happens in the parent after the
+runs are sorted — independent of how many workers produced the samples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.rng import SeedSequenceFactory
+
+__all__ = ["summarize", "aggregate_runs", "BOOTSTRAP_RESAMPLES"]
+
+#: resamples for the CI on the mean (plenty for the seed counts we run)
+BOOTSTRAP_RESAMPLES = 200
+
+#: root seed for every bootstrap stream (namespaced per metric by name)
+_BOOT_ROOT_SEED = 20250806
+
+
+def summarize(values: Sequence[float], stream_name: str = "bench-ci") -> Dict[str, float]:
+    """Mean/p50/p95/p99/min/max/std plus a 95% bootstrap CI on the mean."""
+    arr = np.asarray([float(v) for v in values], dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    out = {
+        "n": float(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+    }
+    if arr.size == 1:
+        out["ci95_lo"] = out["ci95_hi"] = out["mean"]
+        return out
+    rng = SeedSequenceFactory(_BOOT_ROOT_SEED).stream(stream_name)
+    idx = rng.integers(0, arr.size, size=(BOOTSTRAP_RESAMPLES, arr.size))
+    means = arr[idx].mean(axis=1)
+    out["ci95_lo"] = float(np.percentile(means, 2.5))
+    out["ci95_hi"] = float(np.percentile(means, 97.5))
+    return out
+
+
+def aggregate_runs(
+    runs: Iterable[Mapping[str, Any]], scenario_name: str
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-variant per-metric summaries over the per-seed runs.
+
+    Only metrics present in *every* run of a variant are aggregated, so a
+    faulted seed exposing extra counters cannot skew cross-seed stats.
+    """
+    by_variant: Dict[str, list] = {}
+    for run in runs:
+        by_variant.setdefault(run["variant"], []).append(run)
+    aggregates: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for variant, cells in sorted(by_variant.items()):
+        common = set(cells[0]["metrics"])
+        for c in cells[1:]:
+            common &= set(c["metrics"])
+        aggregates[variant] = {
+            metric: summarize(
+                [c["metrics"][metric] for c in cells],
+                stream_name=f"bench-ci/{scenario_name}/{variant}/{metric}",
+            )
+            for metric in sorted(common)
+        }
+    return aggregates

@@ -1,0 +1,173 @@
+"""Schema-versioned benchmark artifact store.
+
+One artifact per scenario, written as ``BENCH_<scenario>.json``:
+
+* ``schema_version`` — bumped on incompatible layout changes;
+* ``runs`` — per-(variant, seed) raw metric dicts;
+* ``aggregates`` — per-variant mean/p50/p95/p99 + bootstrap CIs;
+* ``environment`` / ``timing`` — fingerprint of the producing machine and
+  wall-clock info.  These two top-level keys are *volatile*: comparisons
+  and determinism checks strip them (:func:`strip_volatile`).
+
+Every byte of JSON leaving this module is **stable**: keys sorted,
+2-space indent, trailing newline — so committed baselines and regenerated
+artifacts diff cleanly.  This module deliberately imports nothing from the
+rest of ``repro`` so any layer (including ``benchmarks/conftest.py``) can
+use the writer without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional, Union
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "VOLATILE_KEYS",
+    "ArtifactError",
+    "stable_dumps",
+    "write_json",
+    "environment_fingerprint",
+    "artifact_path",
+    "build_artifact",
+    "write_artifact",
+    "load_artifact",
+    "strip_volatile",
+]
+
+#: bump when the artifact layout changes incompatibly
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: top-level keys excluded from comparisons and determinism checks
+VOLATILE_KEYS = ("environment", "timing")
+
+_REQUIRED_KEYS = ("schema_version", "scenario", "scale", "seeds", "runs", "aggregates")
+
+
+class ArtifactError(ValueError):
+    """A benchmark artifact is missing, malformed, or from a newer schema."""
+
+
+def _json_default(obj: Any) -> Any:
+    tolist = getattr(obj, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    if isinstance(obj, pathlib.Path):
+        return str(obj)
+    return str(obj)
+
+
+def stable_dumps(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, 2-space indent, no trailing spaces."""
+    return json.dumps(obj, indent=2, sort_keys=True, default=_json_default)
+
+
+def write_json(path: Union[str, pathlib.Path], obj: Any) -> pathlib.Path:
+    """Write ``obj`` as stable JSON with a trailing newline."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(stable_dumps(obj) + "\n")
+    return path
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint(scale_name: Optional[str] = None) -> Dict[str, Any]:
+    """Where/how an artifact was produced (volatile: never compared)."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep everywhere else
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+        "git_sha": _git_sha(),
+        "scale": scale_name,
+        "repro_scale_env": os.environ.get("REPRO_SCALE"),
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def artifact_path(out_dir: Union[str, pathlib.Path], scenario_name: str) -> pathlib.Path:
+    return pathlib.Path(out_dir) / f"BENCH_{scenario_name}.json"
+
+
+def build_artifact(
+    scenario: Dict[str, Any],
+    scale_name: str,
+    seeds: Any,
+    runs: Any,
+    aggregates: Dict[str, Any],
+    wall_s: float,
+    workers: int,
+) -> Dict[str, Any]:
+    """Assemble the schema-v1 artifact dict (scenario passed as its dict form)."""
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "scenario": scenario["name"],
+        "scenario_spec": scenario,
+        "scale": scale_name,
+        "seeds": list(seeds),
+        "runs": list(runs),
+        "aggregates": aggregates,
+        "environment": environment_fingerprint(scale_name),
+        "timing": {"wall_s": round(float(wall_s), 3), "workers": int(workers)},
+    }
+
+
+def write_artifact(artifact: Dict[str, Any], out_dir: Union[str, pathlib.Path]) -> pathlib.Path:
+    return write_json(artifact_path(out_dir, artifact["scenario"]), artifact)
+
+
+def load_artifact(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Read + validate an artifact; raises :class:`ArtifactError` on trouble."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"artifact {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ArtifactError(f"artifact {path} must be a JSON object")
+    missing = [k for k in _REQUIRED_KEYS if k not in data]
+    if missing:
+        raise ArtifactError(f"artifact {path} is missing keys: {', '.join(missing)}")
+    version = data["schema_version"]
+    if not isinstance(version, int) or version < 1:
+        raise ArtifactError(f"artifact {path} has a bad schema_version: {version!r}")
+    if version > ARTIFACT_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"artifact {path} has schema_version {version}, newer than the "
+            f"supported {ARTIFACT_SCHEMA_VERSION}"
+        )
+    return data
+
+
+def strip_volatile(artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """The comparable core of an artifact (drops environment/timing)."""
+    return {k: v for k, v in artifact.items() if k not in VOLATILE_KEYS}

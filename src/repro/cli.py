@@ -14,7 +14,11 @@ Commands:
   ``--json`` dumps the full ``SimResult`` including per-epoch arrays;
 * ``report <trace.jsonl>`` — latency-decomposition report of a span trace;
 * ``plan <workload>`` — run Meta-OPT as an offline planner and print the
-  migration plan.
+  migration plan;
+* ``bench run|list|compare|report`` — the perf-tracking subsystem: run a
+  registered scenario's seed×variant matrix in parallel and write a
+  schema-versioned ``BENCH_<scenario>.json`` artifact; list scenarios;
+  diff two artifacts with regression gating; render an artifact.
 """
 
 from __future__ import annotations
@@ -116,15 +120,53 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--mds", type=int, default=5)
     pl.add_argument("--moves", type=int, default=12)
     pl.add_argument("--seed", type=int, default=3)
+
+    be = sub.add_parser("bench", help="benchmark orchestration and regression gating")
+    bsub = be.add_subparsers(dest="bench_command", required=True)
+
+    br = bsub.add_parser("run", help="run scenarios and write BENCH_<name>.json artifacts")
+    br.add_argument("--scenario", action="append", default=None, metavar="NAME",
+                    help="scenario to run (repeatable; default: all registered)")
+    br.add_argument("--workers", type=int, default=1,
+                    help="process-pool size (1 = inline; output is identical either way)")
+    br.add_argument("--scale", default=None, choices=("smoke", "default", "full"),
+                    help="scale tier override (default: each scenario's own tier)")
+    br.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                    help="comma-separated seed-list override")
+    br.add_argument("--out-dir", default=".", metavar="DIR",
+                    help="directory for BENCH_<scenario>.json (default: cwd)")
+
+    bsub.add_parser("list", help="list registered bench scenarios")
+
+    bc = bsub.add_parser("compare", help="diff two artifacts; exit 1 on regression")
+    bc.add_argument("baseline", help="baseline BENCH_*.json")
+    bc.add_argument("candidate", help="candidate BENCH_*.json")
+    bc.add_argument("--profile", default="default", choices=("default", "smoke"),
+                    help="threshold profile (smoke = relaxed CI tolerances)")
+    bc.add_argument("--threshold", action="append", default=None,
+                    metavar="METRIC=FRAC",
+                    help="override one gate, e.g. p99_latency_ms=0.1 (repeatable)")
+
+    bp = bsub.add_parser("report", help="render one artifact as text tables")
+    bp.add_argument("artifact", help="a BENCH_*.json file")
     return p
 
 
 def _cmd_experiments() -> int:
+    from repro.bench.scenario import iter_scenarios
     from repro.harness import experiments as E
 
     for name in _EXPERIMENTS:
         doc = (getattr(E, name).__doc__ or "").strip().splitlines()[0]
         print(f"{name:28s} {doc}")
+    print("\nbench scenarios (run with `repro bench run --scenario <name>`):")
+    for scn in iter_scenarios():
+        faults = ", faults" if scn.faults is not None else ""
+        print(
+            f"{scn.name:28s} scale={scn.scale:8s} "
+            f"{len(scn.variants)} variants x {len(scn.seeds)} seeds{faults} — "
+            f"{scn.description}"
+        )
     return 0
 
 
@@ -325,6 +367,111 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_bench_run(args) -> int:
+    from repro.bench.runner import BenchError, run_scenario
+    from repro.bench.report import render_artifact
+    from repro.bench.scenario import get_scenario, scenario_names
+    from repro.bench.store import write_artifact
+
+    names = args.scenario or list(scenario_names())
+    seeds = None
+    if args.seeds:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            print(f"repro bench run: bad --seeds {args.seeds!r}", file=sys.stderr)
+            return 2
+    try:
+        scenarios = [get_scenario(n) for n in names]
+    except KeyError as exc:
+        print(f"repro bench run: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for scn in scenarios:
+        try:
+            artifact = run_scenario(scn, scale=args.scale, workers=args.workers, seeds=seeds)
+        except BenchError as exc:
+            print(f"repro bench run: {exc}", file=sys.stderr)
+            return 1
+        path = write_artifact(artifact, args.out_dir)
+        print(render_artifact(artifact))
+        print(f"[artifact written to {path}]\n")
+    return 0
+
+
+def _cmd_bench_list() -> int:
+    from repro.bench.scenario import iter_scenarios
+    from repro.harness.report import format_table
+
+    rows = [
+        [
+            scn.name,
+            scn.kind,
+            scn.scale,
+            len(scn.variants),
+            ",".join(str(s) for s in scn.seeds),
+            "yes" if scn.faults is not None else "-",
+            scn.description,
+        ]
+        for scn in iter_scenarios()
+    ]
+    print(format_table(
+        ["scenario", "workload", "scale", "variants", "seeds", "faults", "description"],
+        rows,
+        "registered bench scenarios",
+    ))
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.bench.compare import THRESHOLD_PROFILES, compare_artifacts
+    from repro.bench.store import ArtifactError, load_artifact
+
+    thresholds = dict(THRESHOLD_PROFILES[args.profile])
+    for override in args.threshold or ():
+        metric, sep, frac = override.partition("=")
+        try:
+            if not sep:
+                raise ValueError("expected METRIC=FRAC")
+            thresholds[metric] = float(frac)
+        except ValueError as exc:
+            print(f"repro bench compare: bad --threshold {override!r}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        baseline = load_artifact(args.baseline)
+        candidate = load_artifact(args.candidate)
+        result = compare_artifacts(baseline, candidate, thresholds)
+    except ArtifactError as exc:
+        print(f"repro bench compare: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def _cmd_bench_report(args) -> int:
+    from repro.bench.report import render_artifact
+    from repro.bench.store import ArtifactError, load_artifact
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except ArtifactError as exc:
+        print(f"repro bench report: {exc}", file=sys.stderr)
+        return 2
+    print(render_artifact(artifact))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.bench_command == "run":
+        return _cmd_bench_run(args)
+    if args.bench_command == "list":
+        return _cmd_bench_list()
+    if args.bench_command == "compare":
+        return _cmd_bench_compare(args)
+    if args.bench_command == "report":
+        return _cmd_bench_report(args)
+    raise AssertionError("unreachable")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "experiments":
@@ -341,6 +488,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")
 
 

@@ -17,6 +17,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.bench.execute import run_variant as run_bench_variant
+from repro.bench.scenario import get_scenario as get_bench_scenario
 from repro.balancers import (
     CoarseHashPolicy,
     EvenPartitionPolicy,
@@ -148,8 +150,14 @@ def run_strategy(
     cache_depth: int = 2,
     datapath: Optional[dict] = None,
     n_ops: Optional[int] = None,
+    faults=None,
+    obs=None,
 ) -> SimResult:
-    """One full DES run of a strategy on a workload."""
+    """One full DES run of a strategy on a workload.
+
+    This is the execution path shared by the paper figures and the
+    ``repro.bench`` runner (via :func:`repro.bench.execute.run_variant`).
+    """
     built, trace = build_workload(kind, n_ops or scale.n_ops, seed)
     policy, default_mds = make_policy(name, kind, scale)
     config = SimConfig(
@@ -160,6 +168,8 @@ def run_strategy(
         seed=seed,
         oracle_window_ops=9000,
         datapath=datapath,
+        faults=faults,
+        obs=obs,
     )
     with PROFILER.phase(f"simulate:{name}"):
         return run_simulation(built.tree, trace, policy, config)
@@ -227,11 +237,16 @@ def fig5_overall(scale: Optional[ExperimentScale] = None, seed: int = 42) -> Tup
         "Fig 5 — overall performance (Trace-RW)",
         "Paper: Origami 3.86x single / 1.73x best baseline; latency +24.2% vs single",
     )
+    # the high-load matrix is the registered `fig5_overall` bench scenario:
+    # the paper figure and `repro bench run --scenario fig5_overall` share
+    # one config source and one execution path
+    scn = get_bench_scenario("fig5_overall")
     results: Dict[str, SimResult] = {}
     rows = []
     base = None
-    for name in STRATEGIES:
-        r = run_strategy(name, "rw", scale, seed=seed)
+    for variant in scn.variants:
+        name = variant.strategy
+        r, _ = run_bench_variant(scn, variant, seed=seed, scale=scale)
         results[name] = r
         tput = r.steady_state_throughput(0.4)
         if base is None:
@@ -464,13 +479,21 @@ def fig8_scalability(scale: Optional[ExperimentScale] = None, seed: int = 42) ->
         "Fig 8 — scalability (Trace-RW)",
         "Normalised aggregate throughput vs number of MDSs; paper: Origami near-linear",
     )
-    base = run_strategy("Single", "rw", scale, seed=seed).steady_state_throughput(0.4)
+    # the strategy×cluster-size matrix is the registered `fig8_scalability`
+    # bench scenario — one config source for the figure and the perf runner
+    scn = get_bench_scenario("fig8_scalability")
+    by_strategy: Dict[str, List] = {}
+    for variant in scn.variants:
+        by_strategy.setdefault(variant.strategy, []).append(variant)
+    base_variant = by_strategy.pop("Single")[0]
+    base_run, _ = run_bench_variant(scn, base_variant, seed=seed, scale=scale)
+    base = base_run.steady_state_throughput(0.4)
     rows = []
     data: Dict[str, List[float]] = {}
-    for name in ("C-Hash", "F-Hash", "ML-tree", "Origami"):
+    for name, variants in by_strategy.items():
         vals = []
-        for n_mds in (2, 3, 4, 5):
-            r = run_strategy(name, "rw", scale, seed=seed, n_mds=n_mds)
+        for variant in sorted(variants, key=lambda v: v.n_mds):
+            r, _ = run_bench_variant(scn, variant, seed=seed, scale=scale)
             vals.append(r.steady_state_throughput(0.4) / base)
         rows.append([name, *[round(v, 2) for v in vals]])
         data[name] = vals

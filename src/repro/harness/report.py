@@ -72,9 +72,16 @@ class Report:
         parts.extend(self.tables)
         return "\n\n".join(parts)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "data": self.data,
+        }
+
     def to_json(self) -> str:
         return json.dumps(
-            {"experiment": self.experiment, "description": self.description, "data": self.data},
+            self.to_dict(),
             indent=2,
             default=lambda o: getattr(o, "tolist", lambda: str(o))(),
         )

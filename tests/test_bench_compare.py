@@ -1,0 +1,116 @@
+"""Comparator: direction-aware regression gating between two artifacts."""
+
+import copy
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLDS,
+    SMOKE_THRESHOLDS,
+    compare_artifacts,
+    is_higher_better,
+)
+from repro.bench.store import ArtifactError, build_artifact
+
+
+def make_artifact(mean_latency=1.0, p99_latency=2.0, tput=50_000.0, scenario="demo"):
+    aggregates = {
+        "main": {
+            "mean_latency_ms": {"mean": mean_latency, "n": 2.0},
+            "p99_latency_ms": {"mean": p99_latency, "n": 2.0},
+            "steady_state_throughput": {"mean": tput, "n": 2.0},
+            "migrations": {"mean": 4.0, "n": 2.0},
+        }
+    }
+    return build_artifact(
+        scenario={"name": scenario, "kind": "rw"},
+        scale_name="smoke",
+        seeds=[1, 2],
+        runs=[],
+        aggregates=aggregates,
+        wall_s=0.1,
+        workers=1,
+    )
+
+
+def test_direction_classification():
+    assert is_higher_better("steady_state_throughput")
+    assert is_higher_better("cache_hit_rate")
+    assert not is_higher_better("mean_latency_ms")
+    assert not is_higher_better("rpcs_per_request")
+
+
+def test_identical_artifacts_pass():
+    base = make_artifact()
+    result = compare_artifacts(base, copy.deepcopy(base))
+    assert result.ok
+    assert "PASS" in result.render()
+    gated = {r.metric for r in result.rows if r.threshold is not None}
+    assert gated == {"mean_latency_ms", "p99_latency_ms", "steady_state_throughput"}
+    # ungated metrics are informational only
+    migr = [r for r in result.rows if r.metric == "migrations"]
+    assert migr and migr[0].threshold is None and not migr[0].regressed
+
+
+def test_latency_regression_beyond_threshold_fails():
+    base = make_artifact()
+    cand = make_artifact(mean_latency=1.10)  # +10% > the 5% gate
+    result = compare_artifacts(base, cand)
+    assert not result.ok
+    bad = result.regressions
+    assert [r.metric for r in bad] == ["mean_latency_ms"]
+    assert bad[0].regression_frac == pytest.approx(0.10)
+    assert "FAIL" in result.render()
+
+
+def test_throughput_gate_is_direction_aware():
+    base = make_artifact()
+    # throughput UP 20% is an improvement, never a regression
+    assert compare_artifacts(base, make_artifact(tput=60_000.0)).ok
+    # throughput DOWN 20% trips the 5% gate
+    result = compare_artifacts(base, make_artifact(tput=40_000.0))
+    assert [r.metric for r in result.regressions] == ["steady_state_throughput"]
+    assert result.regressions[0].regression_frac == pytest.approx(0.20)
+
+
+def test_p99_threshold_is_looser_than_mean():
+    base = make_artifact()
+    # +8% p99 passes the 10% p99 gate while +8% mean would fail the 5% one
+    assert compare_artifacts(base, make_artifact(p99_latency=2.16)).ok
+    assert not compare_artifacts(base, make_artifact(p99_latency=2.3)).ok
+
+
+def test_custom_and_smoke_thresholds():
+    base = make_artifact()
+    cand = make_artifact(mean_latency=1.15)  # +15%
+    assert not compare_artifacts(base, cand).ok
+    assert compare_artifacts(base, cand, SMOKE_THRESHOLDS).ok
+    assert compare_artifacts(base, cand, {"mean_latency_ms": 0.5}).ok
+    assert not compare_artifacts(base, cand, {"mean_latency_ms": 0.01}).ok
+    assert DEFAULT_THRESHOLDS["mean_latency_ms"] < SMOKE_THRESHOLDS["mean_latency_ms"]
+
+
+def test_zero_baseline_handling():
+    base = make_artifact()
+    base["aggregates"]["main"]["mean_latency_ms"]["mean"] = 0.0
+    cand = copy.deepcopy(base)
+    assert compare_artifacts(base, copy.deepcopy(base)).ok
+    cand["aggregates"]["main"]["mean_latency_ms"]["mean"] = 0.5
+    assert not compare_artifacts(base, cand).ok
+
+
+def test_scenario_mismatch_rejected():
+    with pytest.raises(ArtifactError, match="different scenarios"):
+        compare_artifacts(make_artifact(), make_artifact(scenario="other"))
+
+
+def test_missing_variants_reported_not_gated():
+    base = make_artifact()
+    cand = copy.deepcopy(base)
+    cand["aggregates"]["extra"] = cand["aggregates"].pop("main")
+    result = compare_artifacts(base, cand)
+    assert result.missing_in_candidate == ["main"]
+    assert result.missing_in_baseline == ["extra"]
+    assert result.ok  # nothing comparable regressed
+    rendered = result.render()
+    assert "missing from the candidate" in rendered

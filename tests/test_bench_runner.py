@@ -1,0 +1,115 @@
+"""Parallel runner: worker-count invariance, typed failure surfacing.
+
+The determinism contract is the subsystem's core guarantee: a scenario's
+artifact must be byte-identical for ``--workers 1`` and ``--workers N``
+once the volatile (environment/timing) fields are stripped.
+"""
+
+import pytest
+
+from repro.bench.runner import BenchError, WorkerCrashError, run_scenario
+from repro.bench.scenario import BenchScenario, BenchVariant, register_scenario
+from repro.bench.store import stable_dumps, strip_volatile
+
+#: tiny but real scenario: two balancers, two seeds, ~1.5k-op traces
+TINY = register_scenario(
+    BenchScenario(
+        name="_test_tiny_rw",
+        description="runner test scenario",
+        kind="rw",
+        variants=(
+            BenchVariant("chash", strategy="C-Hash", n_mds=3, n_clients=16, ops_factor=0.1),
+            BenchVariant("lunule", strategy="Lunule", n_mds=3, n_clients=16, ops_factor=0.1),
+        ),
+        seeds=(1, 2),
+        scale="smoke",
+    ),
+    replace=True,
+)
+
+BROKEN = register_scenario(
+    BenchScenario(
+        name="_test_broken_strategy",
+        description="runner failure-path scenario",
+        kind="rw",
+        variants=(BenchVariant("nope", strategy="NoSuchStrategy", ops_factor=0.05),),
+        seeds=(1,),
+        scale="smoke",
+    ),
+    replace=True,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_artifact():
+    return run_scenario(TINY, workers=1)
+
+
+def test_artifact_shape(serial_artifact):
+    art = serial_artifact
+    assert art["schema_version"] == 1
+    assert art["scenario"] == "_test_tiny_rw"
+    assert art["scale"] == "smoke"
+    assert art["seeds"] == [1, 2]
+    assert len(art["runs"]) == 4
+    # canonical (variant, seed) order
+    assert [(r["variant"], r["seed"]) for r in art["runs"]] == [
+        ("chash", 1), ("chash", 2), ("lunule", 1), ("lunule", 2),
+    ]
+    for run in art["runs"]:
+        m = run["metrics"]
+        assert m["ops_completed"] > 0
+        assert m["steady_state_throughput"] > 0
+        assert "obs.epochs_total" in m  # per-seed obs-registry counters ride along
+    for variant in ("chash", "lunule"):
+        agg = art["aggregates"][variant]["steady_state_throughput"]
+        assert agg["n"] == 2.0
+        assert agg["ci95_lo"] <= agg["mean"] <= agg["ci95_hi"]
+    assert art["environment"]["python"]
+    assert art["timing"]["workers"] == 1
+
+
+def test_workers_do_not_change_the_artifact(serial_artifact):
+    parallel = run_scenario(TINY, workers=4)
+    assert stable_dumps(strip_volatile(parallel)) == stable_dumps(
+        strip_volatile(serial_artifact)
+    )
+    assert parallel["timing"]["workers"] == 4
+
+
+def test_seed_override_changes_matrix_only(serial_artifact):
+    art = run_scenario(TINY, workers=1, seeds=[1])
+    assert art["seeds"] == [1]
+    assert len(art["runs"]) == 2
+    # the seed-1 rows are identical to the full run's seed-1 rows
+    full_seed1 = [r for r in serial_artifact["runs"] if r["seed"] == 1]
+    assert art["runs"] == full_seed1
+
+
+def test_duplicate_seeds_rejected():
+    with pytest.raises(BenchError, match="duplicate seeds"):
+        run_scenario(TINY, workers=1, seeds=[1, 1])
+
+
+def test_worker_exception_surfaces_as_typed_error():
+    with pytest.raises(WorkerCrashError, match="_test_broken_strategy/nope seed=1"):
+        run_scenario(BROKEN, workers=2)
+
+
+def test_worker_hard_crash_surfaces_as_typed_error(monkeypatch):
+    # the env hook makes workers exit without reporting back, simulating a
+    # SIGKILL/OOM death; the runner must raise, not hang
+    monkeypatch.setenv("REPRO_BENCH_TEST_CRASH", "1")
+    with pytest.raises(WorkerCrashError, match="died|failed"):
+        run_scenario(TINY, workers=2, seeds=[1])
+
+
+def test_deadline_is_typed_not_a_hang(monkeypatch):
+    import repro.bench.runner as runner_mod
+
+    real_run_cell = runner_mod._run_cell
+
+    with pytest.raises(WorkerCrashError, match="deadline"):
+        run_scenario(TINY, workers=2, seeds=[1], deadline_s=0.0)
+    # the module-level worker fn is untouched for later tests
+    assert runner_mod._run_cell is real_run_cell

@@ -1,0 +1,108 @@
+"""Scenario model + registry: validation, lookup, built-ins."""
+
+import pytest
+
+from repro.bench.scenario import (
+    BenchScenario,
+    BenchVariant,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.fs.faults import FaultSchedule, Slowdown
+
+
+def make_scenario(name="tmp_scn", **kw):
+    defaults = dict(
+        description="test scenario",
+        kind="rw",
+        variants=(BenchVariant("a", strategy="C-Hash"),),
+        seeds=(1, 2),
+    )
+    defaults.update(kw)
+    return BenchScenario(name=name, **defaults)
+
+
+def test_builtin_scenarios_registered():
+    names = scenario_names()
+    for expected in (
+        "fig2_even_partitioning",
+        "fig5_overall",
+        "fig8_scalability",
+        "crash_failover_rw",
+        "mdtest_uniform",
+        "cache_depth_origami",
+    ):
+        assert expected in names
+
+
+def test_builtins_subsume_figure_configs():
+    fig5 = get_scenario("fig5_overall")
+    assert [v.strategy for v in fig5.variants] == [
+        "Single", "C-Hash", "F-Hash", "ML-tree", "Origami",
+    ]
+    fig8 = get_scenario("fig8_scalability")
+    sizes = sorted({v.n_mds for v in fig8.variants if v.strategy == "Origami"})
+    assert sizes == [2, 3, 4, 5]
+    faulted = get_scenario("crash_failover_rw")
+    assert faulted.faults is not None and faulted.faults.has_crashes
+
+
+def test_validation_rejects_bad_scenarios():
+    with pytest.raises(ValueError, match="unknown workload kind"):
+        make_scenario(kind="nope")
+    with pytest.raises(ValueError, match="at least one variant"):
+        make_scenario(variants=())
+    with pytest.raises(ValueError, match="duplicate variant names"):
+        make_scenario(
+            variants=(BenchVariant("a", strategy="Even"), BenchVariant("a", strategy="C-Hash"))
+        )
+    with pytest.raises(ValueError, match="duplicate seeds"):
+        make_scenario(seeds=(3, 3))
+    with pytest.raises(ValueError, match="at least one seed"):
+        make_scenario(seeds=())
+    with pytest.raises(ValueError, match="ops_factor"):
+        BenchVariant("a", strategy="Even", ops_factor=0.0)
+
+
+def test_registry_lookup_and_replace():
+    scn = make_scenario("tmp_registry_scn")
+    register_scenario(scn, replace=True)
+    assert get_scenario("tmp_registry_scn") is scn
+    with pytest.raises(ValueError, match="already registered"):
+        register_scenario(scn)
+    register_scenario(make_scenario("tmp_registry_scn", kind="ro"), replace=True)
+    assert get_scenario("tmp_registry_scn").kind == "ro"
+    with pytest.raises(KeyError, match="unknown scenario"):
+        get_scenario("never_registered")
+
+
+def test_runs_matrix_order_and_overrides():
+    scn = make_scenario(
+        variants=(BenchVariant("a", strategy="Even"), BenchVariant("b", strategy="C-Hash")),
+        seeds=(5, 6),
+    )
+    matrix = [(v.name, s) for v, s in scn.runs()]
+    assert matrix == [("a", 5), ("a", 6), ("b", 5), ("b", 6)]
+    assert scn.n_runs == 4
+    assert [(v.name, s) for v, s in scn.runs(seeds=[9])] == [("a", 9), ("b", 9)]
+    assert scn.with_seeds([7]).seeds == (7,)
+    assert scn.variant("b").strategy == "C-Hash"
+    with pytest.raises(KeyError):
+        scn.variant("c")
+
+
+def test_to_dict_round_trips_faults():
+    faults = FaultSchedule([Slowdown(mds=0, start_ms=1.0, end_ms=2.0, factor=2.0)])
+    scn = make_scenario("tmp_faulted", faults=faults)
+    d = scn.to_dict()
+    assert d["faults"] is not None
+    assert FaultSchedule.from_dict(d["faults"]) == faults
+    assert d["variants"][0]["strategy"] == "C-Hash"
+    assert make_scenario().to_dict()["faults"] is None
+
+
+def test_iter_scenarios_sorted():
+    names = [s.name for s in iter_scenarios()]
+    assert names == sorted(names)

@@ -1,0 +1,50 @@
+"""Aggregate statistics: percentiles, bootstrap CIs, per-variant grouping."""
+
+import pytest
+
+from repro.bench.stats import aggregate_runs, summarize
+
+
+def test_summarize_fields_and_values():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s["n"] == 4.0
+    assert s["mean"] == pytest.approx(2.5)
+    assert s["min"] == 1.0 and s["max"] == 4.0
+    assert s["p50"] == pytest.approx(2.5)
+    assert s["p99"] <= s["max"]
+    assert s["ci95_lo"] <= s["mean"] <= s["ci95_hi"]
+    assert s["ci95_lo"] >= s["min"] and s["ci95_hi"] <= s["max"]
+
+
+def test_summarize_single_sample_degenerates():
+    s = summarize([7.0])
+    assert s["mean"] == s["p50"] == s["ci95_lo"] == s["ci95_hi"] == 7.0
+    assert s["std"] == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_bootstrap_is_deterministic_per_stream_name():
+    a = summarize([1.0, 2.0, 5.0], stream_name="s1")
+    b = summarize([1.0, 2.0, 5.0], stream_name="s1")
+    assert a == b
+    c = summarize([1.0, 2.0, 5.0], stream_name="s2")
+    # different stream, same data: same point stats, (almost surely) shifted CI
+    assert c["mean"] == a["mean"]
+
+
+def test_aggregate_runs_groups_by_variant_and_intersects_metrics():
+    runs = [
+        {"variant": "a", "seed": 1, "metrics": {"x": 1.0, "only1": 5.0}},
+        {"variant": "a", "seed": 2, "metrics": {"x": 3.0}},
+        {"variant": "b", "seed": 1, "metrics": {"x": 10.0}},
+    ]
+    agg = aggregate_runs(runs, "scn")
+    assert set(agg) == {"a", "b"}
+    # metrics missing from any seed of a variant are dropped, not zero-filled
+    assert set(agg["a"]) == {"x"}
+    assert agg["a"]["x"]["mean"] == pytest.approx(2.0)
+    assert agg["b"]["x"]["n"] == 1.0

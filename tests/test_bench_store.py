@@ -1,0 +1,104 @@
+"""Result store: stable JSON, fingerprint, schema validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.store import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    artifact_path,
+    build_artifact,
+    environment_fingerprint,
+    load_artifact,
+    stable_dumps,
+    strip_volatile,
+    write_artifact,
+    write_json,
+)
+
+
+def minimal_artifact(scenario="demo", **overrides):
+    art = build_artifact(
+        scenario={"name": scenario, "kind": "rw"},
+        scale_name="smoke",
+        seeds=[1, 2],
+        runs=[
+            {"variant": "a", "seed": 1, "metrics": {"m": 1.0}},
+            {"variant": "a", "seed": 2, "metrics": {"m": 2.0}},
+        ],
+        aggregates={"a": {"m": {"mean": 1.5, "n": 2.0}}},
+        wall_s=0.5,
+        workers=2,
+    )
+    art.update(overrides)
+    return art
+
+
+def test_stable_dumps_sorts_keys_everywhere():
+    text = stable_dumps({"b": 1, "a": {"z": 1, "y": 2}})
+    assert text.index('"a"') < text.index('"b"')
+    assert text.index('"y"') < text.index('"z"')
+    # numpy values serialise via tolist
+    assert json.loads(stable_dumps({"x": np.float64(1.5), "v": np.arange(3)})) == {
+        "x": 1.5,
+        "v": [0, 1, 2],
+    }
+
+
+def test_write_json_trailing_newline_and_byte_stability(tmp_path):
+    path = tmp_path / "sub" / "out.json"
+    write_json(path, {"b": 2, "a": 1})
+    first = path.read_bytes()
+    assert first.endswith(b"\n") and not first.endswith(b"\n\n")
+    assert first.index(b'"a"') < first.index(b'"b"')
+    # writing the logically-identical dict in another key order is a no-op diff
+    write_json(path, {"a": 1, "b": 2})
+    assert path.read_bytes() == first
+
+
+def test_environment_fingerprint_fields():
+    fp = environment_fingerprint("smoke")
+    assert fp["scale"] == "smoke"
+    assert fp["python"] and fp["platform"] and fp["numpy"]
+    assert fp["created_utc"]
+    # inside this repo the sha resolves
+    assert fp["git_sha"] is None or len(fp["git_sha"]) == 40
+
+
+def test_artifact_write_load_round_trip(tmp_path):
+    art = minimal_artifact()
+    path = write_artifact(art, tmp_path)
+    assert path == artifact_path(tmp_path, "demo")
+    assert path.name == "BENCH_demo.json"
+    loaded = load_artifact(path)
+    assert loaded["schema_version"] == ARTIFACT_SCHEMA_VERSION
+    assert strip_volatile(loaded) == strip_volatile(art)
+
+
+def test_strip_volatile_drops_env_and_timing():
+    core = strip_volatile(minimal_artifact())
+    assert "environment" not in core and "timing" not in core
+    assert core["runs"] and core["aggregates"]
+
+
+def test_load_artifact_errors(tmp_path):
+    with pytest.raises(ArtifactError, match="cannot read"):
+        load_artifact(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ArtifactError, match="not valid JSON"):
+        load_artifact(bad)
+    lst = tmp_path / "list.json"
+    lst.write_text("[1, 2]\n")
+    with pytest.raises(ArtifactError, match="JSON object"):
+        load_artifact(lst)
+    partial = tmp_path / "partial.json"
+    write_json(partial, {"schema_version": 1, "scenario": "x"})
+    with pytest.raises(ArtifactError, match="missing keys"):
+        load_artifact(partial)
+    future = tmp_path / "future.json"
+    write_json(future, minimal_artifact(schema_version=ARTIFACT_SCHEMA_VERSION + 1))
+    with pytest.raises(ArtifactError, match="newer than the supported"):
+        load_artifact(future)
