@@ -53,6 +53,10 @@ def run_variant(
     :class:`~repro.sim.rng.SeedSequenceFactory` children — which is what
     makes the parallel runner's worker count irrelevant to its output.
     """
+    import contextlib
+    import os
+    import tempfile
+
     from repro.harness.config import ExperimentScale, get_scale
     from repro.harness.experiments import run_strategy
 
@@ -64,18 +68,29 @@ def run_variant(
 
         obs = Observability(metrics=True)
     n_ops = max(1, int(round(scale.n_ops * variant.ops_factor)))
-    return run_strategy(
-        variant.strategy,
-        scenario.kind,
-        scale,
-        seed=seed,
-        n_mds=variant.n_mds,
-        n_clients=variant.n_clients,
-        cache_depth=variant.cache_depth,
-        n_ops=n_ops,
-        faults=scenario.faults,
-        obs=obs,
-    ), obs
+    with contextlib.ExitStack() as stack:
+        data_dir = None
+        if variant.durability:
+            # run-scoped scratch stores: the artifact records the durability
+            # *metrics*, never a host path, so artifacts stay comparable
+            # across machines
+            scratch = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-bench-durability-")
+            )
+            data_dir = os.path.join(scratch, "stores")
+        return run_strategy(
+            variant.strategy,
+            scenario.kind,
+            scale,
+            seed=seed,
+            n_mds=variant.n_mds,
+            n_clients=variant.n_clients,
+            cache_depth=variant.cache_depth,
+            n_ops=n_ops,
+            faults=scenario.faults,
+            obs=obs,
+            data_dir=data_dir,
+        ), obs
 
 
 def _flatten_obs(snapshot: Dict[str, Any]) -> Dict[str, float]:
@@ -117,6 +132,10 @@ def extract_metrics(result, obs=None) -> Dict[str, float]:
     if result.faults is not None:
         for key in ("crashes", "restarts", "retries", "failovers"):
             metrics[f"faults.{key}"] = float(result.faults[key])
+    if result.kvstore is not None:
+        for key in ("wal_appends", "wal_bytes", "fsyncs", "recoveries", "recovery_ms"):
+            if key in result.kvstore:
+                metrics[f"kvstore.{key}"] = float(result.kvstore[key])
     if obs is not None and obs.registry.enabled:
         metrics.update(_flatten_obs(obs.registry.snapshot()))
     return metrics

@@ -48,6 +48,9 @@ class BenchVariant:
     cache_depth: int = 2
     #: trace length as a fraction of the scale profile's ``n_ops``
     ops_factor: float = 1.0
+    #: back every MDS with a durable store (WAL + SSTables + MANIFEST) in a
+    #: run-scoped temporary directory; crashes then pay derived recovery
+    durability: bool = False
 
     def __post_init__(self):
         if not self.name:
@@ -65,6 +68,7 @@ class BenchVariant:
             "n_clients": self.n_clients,
             "cache_depth": self.cache_depth,
             "ops_factor": self.ops_factor,
+            "durability": self.durability,
         }
 
 
@@ -232,6 +236,26 @@ register_scenario(
             ]
         ),
         tags=("faults",),
+    )
+)
+
+register_scenario(
+    BenchScenario(
+        name="crash_recovery",
+        description="Durable Lunule cluster through a crash: WAL volume vs derived recovery cost",
+        kind="rw",
+        variants=(
+            BenchVariant("wal-small", strategy="Lunule", n_mds=3,
+                         ops_factor=0.25, durability=True),
+            BenchVariant("wal-large", strategy="Lunule", n_mds=3,
+                         ops_factor=0.75, durability=True),
+        ),
+        seeds=(0,),
+        scale="smoke",
+        faults=FaultSchedule(
+            [Crash(mds=0, start_ms=40.0, end_ms=90.0, warmup_factor=2.0)]
+        ),
+        tags=("faults", "durability"),
     )
 )
 

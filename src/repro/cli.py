@@ -12,7 +12,12 @@ Commands:
   ``--trace``/``--metrics``/``--audit`` export request spans (JSONL), a
   metrics snapshot (JSON), and the balancer decision audit (JSONL);
   ``--json`` dumps the full ``SimResult`` including per-epoch arrays;
+  ``--data-dir`` backs every MDS with a durable store (WAL + SSTables +
+  MANIFEST) and prices durability work into the run; ``--checkpoint`` /
+  ``--resume`` capture and warm-restart a quiescent simulation;
 * ``report <trace.jsonl>`` — latency-decomposition report of a span trace;
+* ``recover <data_dir>`` — read-only inspection of durable store
+  directories: MANIFEST state, WAL tail to replay, modeled recovery cost;
 * ``plan <workload>`` — run Meta-OPT as an offline planner and print the
   migration plan;
 * ``bench run|list|compare|report`` — the perf-tracking subsystem: run a
@@ -100,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="rebalance epoch length (default: the scale profile's)")
     si.add_argument("--kvstore", action="store_true",
                     help="store inodes in per-MDS LSM stores (surfaces StoreStats)")
+    si.add_argument("--data-dir", dest="data_dir", default=None, metavar="DIR",
+                    help="durable per-MDS stores (WAL + SSTables + MANIFEST) rooted "
+                         "here; implies --kvstore and the durability cost model")
+    si.add_argument("--checkpoint", dest="checkpoint_out", default=None, metavar="PATH",
+                    help="capture a simulation checkpoint here after the run")
+    si.add_argument("--resume", dest="resume_path", default=None, metavar="PATH",
+                    help="warm-restart from a checkpoint written by --checkpoint "
+                         "(pass the same workload/seed so the full trace matches)")
     si.add_argument("--faults", dest="faults_path", default=None, metavar="PATH",
                     help="JSON fault schedule (crashes, slowdowns, drops, partitions)")
     si.add_argument("--trace", dest="trace_out", default=None, metavar="PATH",
@@ -113,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     rp = sub.add_parser("report", help="latency-decomposition report of a span trace")
     rp.add_argument("trace", help="span JSONL file written by `simulate --trace`")
+
+    rc = sub.add_parser("recover", help="inspect a durable data directory (read-only)")
+    rc.add_argument("data_dir",
+                    help="one store directory, or a `simulate --data-dir` root "
+                         "holding mds-* store directories")
+    rc.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                    help="write the per-store inspection dicts here")
 
     pl = sub.add_parser("plan", help="offline Meta-OPT migration plan")
     pl.add_argument("kind", choices=("rw", "ro", "wi"))
@@ -246,7 +266,9 @@ def _cmd_simulate(args) -> int:
     from repro.harness.config import ExperimentScale, get_scale
     from repro.harness.experiments import build_workload, make_policy
     from repro.costmodel import CostParams
-    from repro.fs import SimConfig, run_simulation
+    from repro.durability import Checkpointer, CheckpointError, SimCheckpoint
+    from repro.fs import SimConfig
+    from repro.fs.filesystem import OrigamiFS
     from repro.obs import Observability
 
     scale = get_scale()
@@ -281,8 +303,20 @@ def _cmd_simulate(args) -> int:
         use_kvstore=args.kvstore,
         obs=obs,
         faults=faults,
+        data_dir=args.data_dir,
     )
-    r = run_simulation(built.tree, trace, policy, config)
+    try:
+        if args.resume_path:
+            ckpt = SimCheckpoint.load(args.resume_path)
+            fs = Checkpointer().restore(ckpt, trace, policy, config)
+            print(f"[resumed from {args.resume_path}: {fs.cursor:,}/{len(trace):,} ops "
+                  f"already replayed, clock at {fs.env.now:.1f} virtual ms]")
+        else:
+            fs = OrigamiFS(built.tree, trace, policy, config)
+    except CheckpointError as exc:
+        print(f"repro simulate: cannot resume: {exc}", file=sys.stderr)
+        return 1
+    r = fs.run()
     imb = r.imbalance()
     print(f"strategy            : {r.strategy} on Trace-{args.kind.upper()} ({r.n_mds} MDS)")
     print(f"ops completed       : {r.ops_completed:,} over {r.duration_ms / 1000:.2f} virtual s")
@@ -307,6 +341,18 @@ def _cmd_simulate(args) -> int:
               f"({int(kv['compactions'])} compactions, {int(kv['run_count'])} runs)")
         print(f"kvstore read/write amplification : "
               f"{kv['read_amplification']:.2f} / {kv['write_amplification']:.2f}")
+        if args.data_dir is not None:
+            print(f"durability          : {int(kv['wal_appends']):,} WAL appends "
+                  f"({int(kv['wal_bytes']):,} bytes), {int(kv['fsyncs']):,} fsyncs, "
+                  f"{int(kv['recoveries'])} recoveries "
+                  f"({kv.get('recovery_ms', 0.0):.2f} ms modeled)")
+    if args.checkpoint_out:
+        try:
+            Checkpointer().capture(fs).save(args.checkpoint_out)
+        except CheckpointError as exc:
+            print(f"repro simulate: cannot checkpoint: {exc}", file=sys.stderr)
+            return 1
+        print(f"[checkpoint written to {args.checkpoint_out}]")
     if obs is not None:
         obs.close()
         if obs.audit is not None and obs.audit.entries:
@@ -342,6 +388,62 @@ def _cmd_report(args) -> int:
         print(f"repro report: {exc}", file=sys.stderr)
         return 2
     print(render_trace_report(spans, source=args.trace))
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    import os
+    from types import SimpleNamespace
+
+    from repro.durability import DurabilityError, inspect_data_dir
+    from repro.sim import DurabilityCostModel
+
+    root = args.data_dir
+    if not os.path.isdir(root):
+        print(f"repro recover: {root} is not a directory", file=sys.stderr)
+        return 1
+    # a `simulate --data-dir` root holds one store per MDS in mds-<i>/
+    stores = sorted(
+        os.path.join(root, d)
+        for d in os.listdir(root)
+        if d.startswith("mds-") and os.path.isdir(os.path.join(root, d))
+    )
+    if not stores:
+        stores = [root]
+    model = DurabilityCostModel()
+    reports = []
+    total_ms = 0.0
+    for store_dir in stores:
+        try:
+            info = inspect_data_dir(store_dir)
+        except DurabilityError as exc:
+            print(f"repro recover: {store_dir}: {exc}", file=sys.stderr)
+            return 1
+        cost = model.recovery_cost_ms(SimpleNamespace(
+            wal_bytes_scanned=info["wal_bytes"],
+            sst_bytes_loaded=info["sst_bytes"],
+            manifest_edits=info["manifest_edits"],
+        ))
+        info["modeled_recovery_ms"] = cost
+        total_ms += cost
+        reports.append(info)
+        name = os.path.basename(store_dir.rstrip(os.sep))
+        torn = " (torn tail: unacked bytes will be dropped)" if info["torn_tail"] else ""
+        print(f"{name}:")
+        print(f"  manifest        : {int(info['manifest_edits'])} edits, "
+              f"WAL checkpoint LSN {int(info['wal_checkpoint_lsn'])}")
+        print(f"  live tables     : {int(info['live_tables'])} "
+              f"({int(info['sst_bytes']):,} bytes)")
+        print(f"  WAL tail        : {int(info['wal_records_pending'])} records to replay "
+              f"in {int(info['wal_segments'])} segment(s), "
+              f"{int(info['wal_bytes']):,} bytes{torn}")
+        print(f"  modeled recovery: {cost:.3f} virtual ms")
+    print(f"\ntotal modeled recovery for {len(stores)} store(s): {total_ms:.3f} virtual ms")
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(reports, f, indent=2)
+            f.write("\n")
+        print(f"[json written to {args.json_out}]")
     return 0
 
 
@@ -486,6 +588,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "plan":
         return _cmd_plan(args)
     if args.command == "bench":

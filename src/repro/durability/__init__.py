@@ -1,0 +1,67 @@
+"""repro.durability: WAL, on-disk SSTables, MANIFEST, recovery, checkpoints.
+
+This package makes :class:`repro.kvstore.LSMStore` crash-consistent: every
+mutation is write-ahead logged with group commit, flushes and compactions
+persist their runs and record them in a MANIFEST edit log, and
+:func:`open_store` rebuilds exactly the acknowledged write prefix after a
+crash at any byte offset.  ``docs/durability.md`` documents the formats and
+the acked-prefix invariant.
+"""
+
+from repro.durability.backend import DurabilityOptions, DurableBackend
+from repro.durability.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    Checkpointer,
+    SimCheckpoint,
+)
+from repro.durability.errors import (
+    CheckpointError,
+    DurabilityError,
+    ManifestError,
+    RecoveryError,
+    SSTableCorruptionError,
+    WalCorruptionError,
+)
+from repro.durability.manifest import Manifest, VersionState
+from repro.durability.recovery import RecoveryReport, inspect_data_dir, open_store
+from repro.durability.sstable_io import read_sstable, sstable_path, write_sstable
+from repro.durability.wal import (
+    REC_DELETE,
+    REC_PUT,
+    WalRecord,
+    WalReplay,
+    WalWriter,
+    encode_record,
+    replay_wal,
+    scan_segments,
+)
+
+__all__ = [
+    "DurabilityOptions",
+    "DurableBackend",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpointer",
+    "SimCheckpoint",
+    "DurabilityError",
+    "RecoveryError",
+    "WalCorruptionError",
+    "SSTableCorruptionError",
+    "ManifestError",
+    "CheckpointError",
+    "Manifest",
+    "VersionState",
+    "RecoveryReport",
+    "open_store",
+    "inspect_data_dir",
+    "read_sstable",
+    "write_sstable",
+    "sstable_path",
+    "REC_PUT",
+    "REC_DELETE",
+    "WalRecord",
+    "WalReplay",
+    "WalWriter",
+    "encode_record",
+    "replay_wal",
+    "scan_segments",
+]

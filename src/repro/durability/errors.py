@@ -1,0 +1,52 @@
+"""Typed error hierarchy for the durability subsystem.
+
+Every failure mode a data directory can surface — a torn or bit-flipped WAL
+segment, a checksum-failing SSTable, a malformed MANIFEST — maps to one
+exception class under :class:`RecoveryError`, so callers (the CLI ``recover``
+command, the fault injector, the fuzz suite) can distinguish "this store is
+corrupt" from a plain bug.  The recovery code must never leak a raw
+``struct.error`` / ``KeyError`` / ``json.JSONDecodeError`` out of a corrupted
+input: the CI recovery-fuzz job asserts exactly that.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DurabilityError",
+    "RecoveryError",
+    "WalCorruptionError",
+    "SSTableCorruptionError",
+    "ManifestError",
+    "CheckpointError",
+]
+
+
+class DurabilityError(Exception):
+    """Base class for all durability-layer failures."""
+
+
+class RecoveryError(DurabilityError):
+    """A data directory could not be recovered into a consistent store."""
+
+
+class WalCorruptionError(RecoveryError):
+    """A *sealed* WAL segment failed validation (bad magic, CRC, or gap).
+
+    Checksum failures in the tail of the *final* segment are not corruption:
+    they are the expected signature of a crash mid-append and recovery
+    silently stops at the last valid record (the acked-prefix invariant).
+    A sealed (non-final) segment, by contrast, was fully written and synced,
+    so any damage there is real corruption and must surface typed.
+    """
+
+
+class SSTableCorruptionError(RecoveryError):
+    """An on-disk SSTable failed its magic/version/CRC validation."""
+
+
+class ManifestError(RecoveryError):
+    """The MANIFEST edit log is malformed beyond the tolerated torn tail."""
+
+
+class CheckpointError(DurabilityError):
+    """A simulation checkpoint could not be captured, parsed, or restored."""

@@ -254,7 +254,15 @@ class ClientWorker:
                 if span is not None:
                     span.rpcs += 1
                 yield from pserver.service(params.t_coor, span)
-            self._apply_mutation(op, dir_ino, name, aux)
+            self._apply_mutation(op, dir_ino, name, aux, span)
+            if fs.durability is not None:
+                # the mutation's WAL append (and any group commit it forced)
+                # is served by the primary as extra hold time
+                dcost = pserver.take_durability_cost()
+                if dcost > 0:
+                    if span is not None:
+                        span.wal_ms += dcost
+                    yield from pserver.service(dcost, span)
             fs.stats.record_write(dir_ino)
         else:
             if fs.use_kvstore:
@@ -280,7 +288,7 @@ class ClientWorker:
             return o if o != primary else None
         return None
 
-    def _apply_mutation(self, op: int, dir_ino: int, name: str, aux: int) -> None:
+    def _apply_mutation(self, op: int, dir_ino: int, name: str, aux: int, span=None) -> None:
         """Materialise the namespace mutation (best effort under races)."""
         fs = self.fs
         tree = fs.tree
@@ -289,7 +297,7 @@ class ClientWorker:
                 ino = tree.create_file(dir_ino, name)
                 if fs.use_kvstore:
                     fs.servers[fs.pmap.owner(dir_ino)].kv_put(
-                        b"%020d/%s" % (dir_ino, name.encode()), b"inode"
+                        b"%020d/%s" % (dir_ino, name.encode()), b"inode", span
                     )
                 fs.created_files.append(ino)
             elif op == int(OpType.UNLINK):
@@ -299,7 +307,7 @@ class ClientWorker:
                     tree.remove(ino)
                     if fs.use_kvstore:
                         fs.servers[fs.pmap.owner(dir_ino)].kv_delete(
-                            b"%020d/%s" % (dir_ino, name.encode())
+                            b"%020d/%s" % (dir_ino, name.encode()), span
                         )
             elif op == int(OpType.MKDIR):
                 tree.create_dir(dir_ino, name)

@@ -32,9 +32,12 @@ class EpochDriver:
         self.fs = fs
         self.policy = policy
         self.oracle_window_ops = oracle_window_ops
-        self.epoch = 0
-        self._last_flush_ms = 0.0
-        self._last_cursor = 0
+        # resume-aware starting points: a warm-restarted run carries prior
+        # epochs, a warped clock, and an advanced cursor (all zero on a
+        # fresh run, so this is the classic initialisation then)
+        self.epoch = len(fs.epochs)
+        self._last_flush_ms = fs.env.now
+        self._last_cursor = fs.cursor
 
     def flush_epoch(self) -> EpochMetrics:
         """Drain counters into an EpochMetrics record (no balancing)."""

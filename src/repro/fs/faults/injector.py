@@ -51,6 +51,12 @@ class FaultInjector:
         self._drop_rng = ssf.stream("fault-drop")
         self._retry_rng = ssf.stream("fault-retry")
 
+        #: durable runs derive restart warm-up from recovery work instead of
+        #: the schedule's fixed warmup_ms constant
+        self._derived_warmup_mode = getattr(fs.config, "data_dir", None) is not None
+        #: mds -> (warm until, factor) windows installed at restart time
+        self._derived_warmup: Dict[int, tuple] = {}
+
         # run-scoped totals (mirrored into the registry live)
         self.crashes = 0
         self.restarts = 0
@@ -91,6 +97,22 @@ class FaultInjector:
         fs = self.fs
         env = fs.env
         for t, kind, ev in edges:
+            if t < env.now:
+                # a warm-restarted run (checkpoint resume with a warped
+                # clock) has already lived through this edge.  A past crash
+                # whose window is still open must still take the server
+                # down — its restart edge lies ahead and will price the
+                # recovery; everything else is history.
+                if kind == "crash" and (not ev.restarts or ev.end_ms > env.now):
+                    fs.servers[ev.mds].crash()
+                    self.crashes += 1
+                    self._m_crashes.inc()
+                    until = float("inf") if not ev.restarts else (
+                        ev.end_ms if self._derived_warmup_mode
+                        else ev.end_ms + ev.warmup_ms
+                    )
+                    fs.cache.on_mds_crash(env.now, until)
+                continue
             if t > env.now:
                 yield env.timeout(t - env.now)
             server = fs.servers[ev.mds]
@@ -100,13 +122,24 @@ class FaultInjector:
                 self._m_crashes.inc()
                 # leases/near-root entries granted by the dead MDS are void
                 # until it is back and warm (conservatively: all of them —
-                # the DES models one coherent client-population cache)
-                until = ev.end_ms + ev.warmup_ms if ev.restarts else float("inf")
+                # the DES models one coherent client-population cache); in
+                # derived mode the warm extension is added at restart, once
+                # the recovery cost is known
+                if not ev.restarts:
+                    until = float("inf")
+                elif self._derived_warmup_mode:
+                    until = ev.end_ms
+                else:
+                    until = ev.end_ms + ev.warmup_ms
                 fs.cache.on_mds_crash(env.now, until)
             else:
-                server.restart()
+                rec_ms = server.restart()
                 self.restarts += 1
                 self._m_restarts.inc()
+                if self._derived_warmup_mode and rec_ms > 0:
+                    # warm-up window sized by the recovery work performed
+                    self._derived_warmup[ev.mds] = (env.now + rec_ms, ev.warmup_factor)
+                    fs.cache.on_mds_crash(env.now, env.now + rec_ms)
 
     def cancel(self) -> None:
         """Stop pending timeline events so a drained run can end (idempotent)."""
@@ -119,7 +152,14 @@ class FaultInjector:
 
     # ------------------------------------------------------ server-side view
     def service_factor(self, mds: int, now: float) -> float:
-        return self.schedule.slowdown_factor(mds, now)
+        f = self.schedule.slowdown_factor(
+            mds, now, include_warmup=not self._derived_warmup_mode
+        )
+        if self._derived_warmup_mode:
+            window = self._derived_warmup.get(mds)
+            if window is not None and now < window[0]:
+                f = max(f, window[1])
+        return f
 
     def up_mask(self) -> np.ndarray:
         """Boolean per-MDS liveness (the balancers' degraded-mode input)."""
@@ -217,4 +257,6 @@ class FaultInjector:
         }
         for reason, n in sorted(self.failed_by_reason.items()):
             out[f"failed_{reason}"] = float(n)
+        if self._derived_warmup_mode:
+            out["recovery_ms"] = sum(s.recovery_ms_total for s in self.fs.servers)
         return out

@@ -230,15 +230,19 @@ class FaultSchedule:
                 raise ValueError("schedule crashes every MDS simultaneously")
 
     # --------------------------------------------------------------- queries
-    def slowdown_factor(self, mds: int, now: float) -> float:
-        """Service-time multiplier: worst active slowdown or restart warm-up."""
+    def slowdown_factor(self, mds: int, now: float, include_warmup: bool = True) -> float:
+        """Service-time multiplier: worst active slowdown or restart warm-up.
+
+        ``include_warmup=False`` excludes the fixed post-crash warm-up window
+        — used by durable runs, where the injector derives the warm-up from
+        the recovery work the restarted MDS actually performed."""
         f = 1.0
         for e in self.events:
             if e.mds != mds:
                 continue
             if isinstance(e, Slowdown) and e.active(now):
                 f = max(f, e.factor)
-            elif isinstance(e, Crash) and e.restarts and e.warmup_ms > 0:
+            elif include_warmup and isinstance(e, Crash) and e.restarts and e.warmup_ms > 0:
                 if e.end_ms <= now < e.end_ms + e.warmup_ms:
                     f = max(f, e.warmup_factor)
         return f

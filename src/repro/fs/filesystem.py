@@ -14,6 +14,7 @@ compression is documented in DESIGN.md).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -34,7 +35,7 @@ from repro.fs.server import MdsServer
 from repro.namespace.stats import AccessStats
 from repro.namespace.tree import NamespaceTree
 from repro.obs import NULL_OBS, Observability
-from repro.sim import Environment, SeedSequenceFactory
+from repro.sim import DurabilityCostModel, Environment, SeedSequenceFactory
 from repro.workloads.trace import Trace
 
 __all__ = ["SimConfig", "OrigamiFS", "run_simulation"]
@@ -73,6 +74,12 @@ class SimConfig:
     #: None — and an *empty* schedule — are bit-identical to a healthy run
     #: (asserted by tests/test_fs_parity.py)
     faults: Optional[FaultSchedule] = None
+    #: root directory for durable per-MDS stores (WAL + SSTables + MANIFEST);
+    #: setting it turns on use_kvstore and the durability cost model, and
+    #: makes crash/restart pay real recovery work instead of fixed warm-up
+    data_dir: Optional[str] = None
+    #: durability latency prices; defaulted when data_dir is set
+    durability: Optional[DurabilityCostModel] = None
 
     def __post_init__(self):
         if self.n_mds < 1 or self.n_clients < 1:
@@ -81,6 +88,12 @@ class SimConfig:
             raise ValueError("epoch_ms must be positive")
         if self.cache_mode not in ("near-root", "lease", "none"):
             raise ValueError(f"unknown cache_mode {self.cache_mode!r}")
+        if self.durability is not None and self.data_dir is None:
+            raise ValueError("durability cost model requires data_dir")
+        if self.data_dir is not None:
+            self.use_kvstore = True
+            if self.durability is None:
+                self.durability = DurabilityCostModel()
 
 
 class OrigamiFS:
@@ -95,7 +108,13 @@ class OrigamiFS:
         trace: Trace,
         policy: BalancePolicy,
         config: Optional[SimConfig] = None,
+        restore_from=None,
     ):
+        #: SimCheckpoint being warm-restarted (None for a fresh run).  Built
+        #: via Checkpointer.restore(); the hooks run at fixed points below so
+        #: ordering holds: owners land before store population, the clock
+        #: warps onto the still-empty calendar before the fault injector
+        #: schedules its timeline.
         self.config = config or SimConfig()
         self.tree = tree
         self.trace = trace
@@ -103,6 +122,7 @@ class OrigamiFS:
         self.params = self.config.params
         self.env = Environment()
         ssf = SeedSequenceFactory(self.config.seed)
+        self._ssf = ssf  # retained so the Checkpointer can snapshot streams
         self.rng = ssf.stream("fs")
         self._net_rng = ssf.stream("network")
 
@@ -114,7 +134,10 @@ class OrigamiFS:
         )
 
         self.pmap = policy.setup(tree, self.config.n_mds, ssf.stream("policy"))
+        if restore_from is not None:
+            restore_from.apply_partition(self)
         self.use_kvstore = self.config.use_kvstore
+        self.durability = self.config.durability
         self.servers = [
             MdsServer(
                 self.env,
@@ -122,11 +145,32 @@ class OrigamiFS:
                 service_concurrency=self.config.service_concurrency,
                 use_kvstore=self.use_kvstore,
                 registry=self.obs.registry,
+                data_dir=(
+                    os.path.join(self.config.data_dir, f"mds-{i}")
+                    if self.config.data_dir is not None
+                    else None
+                ),
+                durability=self.durability,
             )
             for i in range(self.config.n_mds)
         ]
         if self.use_kvstore:
-            self._populate_stores()
+            if restore_from is not None and self.config.data_dir is not None:
+                # durable warm restart: the reopened stores already replayed
+                # their WAL tails — the disk copy is authoritative, so the
+                # in-memory population pass must not run (it would re-log
+                # every live entry)
+                pass
+            else:
+                self._populate_stores()
+            if self.config.data_dir is not None:
+                # setup population is not charged: flush it into SSTables and
+                # drop the accrued WAL cost so the run starts from a clean,
+                # checkpointed data directory
+                for s in self.servers:
+                    s.store.flush()
+                    s.store.sync()
+                    s.take_durability_cost()
         if self.config.cache_mode == "lease":
             self.cache = LeaseCache(
                 tree,
@@ -162,10 +206,17 @@ class OrigamiFS:
         self.created_files: List[int] = []
         self.epochs: List = []
 
+        if restore_from is not None:
+            # counters, RNG streams, latency/cache state, and the clock warp —
+            # before the injector below puts its timeline on the calendar
+            restore_from.apply_runtime(self)
+
         #: fault injector (installed last: it touches servers and cache)
         self.faults: Optional[FaultInjector] = None
         if self.config.faults is not None:
             FaultInjector(self, self.config.faults)  # sets self.faults
+        if restore_from is not None:
+            restore_from.apply_fault_rng(self)
 
     # -------------------------------------------------------------- plumbing
     def _populate_stores(self) -> None:
@@ -228,6 +279,12 @@ class OrigamiFS:
         duration = self.last_completion_ms
         if any(s.epoch_busy_ms > 0 or s.epoch_qps > 0 for s in self.servers):
             driver.flush_epoch()
+        if self.config.data_dir is not None:
+            # clean shutdown: sync WAL tails and release file handles before
+            # the stats are aggregated so the final fsyncs are counted
+            for s in self.servers:
+                if s.store is not None:
+                    s.store.close()
         self.obs.finalize(self)
         kv_stats = None
         if self.use_kvstore:
@@ -241,6 +298,8 @@ class OrigamiFS:
                     total_runs += s.store.run_count()
             kv_stats = agg.as_dict()
             kv_stats["run_count"] = float(total_runs)
+            if self.config.data_dir is not None:
+                kv_stats["recovery_ms"] = sum(s.recovery_ms_total for s in self.servers)
         return SimResult(
             strategy=self.policy.name,
             n_mds=self.config.n_mds,

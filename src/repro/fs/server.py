@@ -42,6 +42,8 @@ class MdsServer:
         service_concurrency: int = 1,
         use_kvstore: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        data_dir: Optional[str] = None,
+        durability=None,
     ):
         self.env = env
         self.mds_id = mds_id
@@ -50,7 +52,23 @@ class MdsServer:
         self.up = True
         self.incarnation = 0
         self._faults = None
-        self.store: Optional[LSMStore] = LSMStore(memtable_limit=512) if use_kvstore else None
+        #: durability cost model (repro.sim.DurabilityCostModel) or None
+        self.durability = durability
+        self.data_dir = data_dir
+        #: durable-write virtual ms accrued since the last drain
+        self._pending_durability_ms = 0.0
+        #: recovery report of the latest crash, consumed by restart()
+        self._crash_recovery = None
+        self.last_recovery_ms = 0.0
+        self.recovery_ms_total = 0.0
+        if not use_kvstore:
+            self.store: Optional[LSMStore] = None
+        elif data_dir is not None:
+            self.store = LSMStore.open(
+                data_dir, memtable_limit=512, sync_listener=self._on_group_commit
+            )
+        else:
+            self.store = LSMStore(memtable_limit=512)
         # epoch-scoped counters (drained by the driver)
         self.epoch_busy_ms = 0.0
         self.epoch_rpcs = 0
@@ -68,6 +86,15 @@ class MdsServer:
         self._m_busy = reg.counter(
             "mds_busy_ms_live_total", "service busy-ms accumulated (live)"
         ).labels(mds=label)
+        self._m_group_commit = reg.histogram(
+            "kv_wal_group_commit_size", "records per WAL group commit"
+        ).labels(mds=label)
+        self._m_recovery = reg.histogram(
+            "mds_recovery_ms", "modeled recovery warm-up per restart (ms)"
+        ).labels(mds=label)
+
+    def _on_group_commit(self, batch_records: int) -> None:
+        self._m_group_commit.observe(batch_records)
 
     # ------------------------------------------------------------ fault hooks
     def attach_faults(self, injector) -> None:
@@ -75,13 +102,44 @@ class MdsServer:
         self._faults = injector
 
     def crash(self) -> None:
-        """Go down: in-flight service is aborted, queued waiters fail on grant."""
+        """Go down: in-flight service is aborted, queued waiters fail on grant.
+
+        With a durable store the crash is real: unacknowledged (unsynced)
+        writes are dropped, and the store is immediately rebuilt from disk —
+        WAL replay plus MANIFEST/SSTable reload — so the acknowledged state
+        stays queryable (the Migrator evacuating a dead MDS's subtrees reads
+        from its recovered journal, as a real takeover would).  The recovery
+        *work* is recorded and priced into the restart warm-up by
+        :meth:`restart`."""
         self.up = False
         self.incarnation += 1
+        if self.store is not None and self.store.backend is not None:
+            stats = self.store.stats  # counter continuity across incarnations
+            self.store.crash()
+            self.store = LSMStore.open(
+                self.data_dir,
+                memtable_limit=512,
+                stats=stats,
+                sync_listener=self._on_group_commit,
+            )
+            self._crash_recovery = self.store.last_recovery
+            self._pending_durability_ms = 0.0
 
-    def restart(self) -> None:
-        """Come back up; warm-up degradation is the schedule's concern."""
+    def restart(self) -> float:
+        """Come back up; returns the modeled recovery warm-up in ms.
+
+        Non-durable servers return 0.0 and warm-up degradation stays the
+        schedule's concern (the fixed ``warmup_ms`` constant).  Durable
+        servers price the recovery work their crash actually performed."""
         self.up = True
+        rec_ms = 0.0
+        if self.durability is not None and self._crash_recovery is not None:
+            rec_ms = self.durability.recovery_cost_ms(self._crash_recovery)
+            self._crash_recovery = None
+            self.last_recovery_ms = rec_ms
+            self.recovery_ms_total += rec_ms
+            self._m_recovery.observe(rec_ms)
+        return rec_ms
 
     def count_rpc(self, n: int = 1) -> None:
         self.epoch_rpcs += n
@@ -147,12 +205,40 @@ class MdsServer:
         return out
 
     # ------------------------------------------------------------- kv store
-    def kv_put(self, key: bytes, value: bytes) -> None:
-        if self.store is not None:
+    def _accrue_durability(self, mutate, span) -> None:
+        """Run one store mutation, pricing its WAL work into pending cost."""
+        stats = self.store.stats
+        bytes_before = stats.wal_bytes
+        fsyncs_before = stats.fsyncs
+        mutate()
+        delta_bytes = stats.wal_bytes - bytes_before
+        cost = self.durability.append_cost_ms(delta_bytes)
+        cost += self.durability.sync_cost_ms(stats.fsyncs - fsyncs_before)
+        self._pending_durability_ms += cost
+        if span is not None:
+            span.wal_appends += 1
+            span.wal_bytes += delta_bytes
+
+    def take_durability_cost(self) -> float:
+        """Drain the accrued durable-write cost (charged as service time)."""
+        cost = self._pending_durability_ms
+        self._pending_durability_ms = 0.0
+        return cost
+
+    def kv_put(self, key: bytes, value: bytes, span=None) -> None:
+        if self.store is None:
+            return
+        if self.durability is not None and self.store.backend is not None:
+            self._accrue_durability(lambda: self.store.put(key, value), span)
+        else:
             self.store.put(key, value)
 
-    def kv_delete(self, key: bytes) -> None:
-        if self.store is not None:
+    def kv_delete(self, key: bytes, span=None) -> None:
+        if self.store is None:
+            return
+        if self.durability is not None and self.store.backend is not None:
+            self._accrue_durability(lambda: self.store.delete(key), span)
+        else:
             self.store.delete(key)
 
     def kv_get(self, key: bytes, span=None) -> Optional[bytes]:

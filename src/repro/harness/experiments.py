@@ -152,6 +152,8 @@ def run_strategy(
     n_ops: Optional[int] = None,
     faults=None,
     obs=None,
+    data_dir: Optional[str] = None,
+    durability=None,
 ) -> SimResult:
     """One full DES run of a strategy on a workload.
 
@@ -170,6 +172,8 @@ def run_strategy(
         datapath=datapath,
         faults=faults,
         obs=obs,
+        data_dir=data_dir,
+        durability=durability,
     )
     with PROFILER.phase(f"simulate:{name}"):
         return run_simulation(built.tree, trace, policy, config)

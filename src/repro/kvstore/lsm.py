@@ -40,6 +40,11 @@ class StoreStats:
     runs_probed: int = 0
     bytes_flushed: int = 0
     bytes_compacted: int = 0
+    # durability counters (all zero while the store runs purely in memory)
+    wal_appends: int = 0
+    wal_bytes: int = 0
+    fsyncs: int = 0
+    recoveries: int = 0
 
     def read_amplification(self) -> float:
         """Average runs probed per get."""
@@ -64,6 +69,10 @@ class StoreStats:
         self.runs_probed += other.runs_probed
         self.bytes_flushed += other.bytes_flushed
         self.bytes_compacted += other.bytes_compacted
+        self.wal_appends += other.wal_appends
+        self.wal_bytes += other.wal_bytes
+        self.fsyncs += other.fsyncs
+        self.recoveries += other.recoveries
 
     def as_dict(self) -> Dict[str, float]:
         """Raw counters plus derived amplifications (metrics/JSON surfacing)."""
@@ -77,6 +86,10 @@ class StoreStats:
             "runs_probed": float(self.runs_probed),
             "bytes_flushed": float(self.bytes_flushed),
             "bytes_compacted": float(self.bytes_compacted),
+            "wal_appends": float(self.wal_appends),
+            "wal_bytes": float(self.wal_bytes),
+            "fsyncs": float(self.fsyncs),
+            "recoveries": float(self.recoveries),
             "read_amplification": self.read_amplification(),
             "write_amplification": self.write_amplification(),
         }
@@ -115,16 +128,35 @@ class LSMStore:
         # levels[i] for i>=1: sorted list of guards by lo key
         self.levels: List[List[_Guard]] = [[] for _ in range(max_levels)]
         self.stats = StoreStats()
+        # durability attachment (None = purely in-memory, the seed behavior)
+        self.backend = None
+        self.backend_dir: Optional[str] = None
+        self.last_recovery = None
+
+    @classmethod
+    def open(cls, data_dir: str, options=None, stats=None, sync_listener=None, **lsm_kwargs):
+        """Open a durable store rooted at ``data_dir``, recovering any prior
+        state (WAL replay + MANIFEST/SSTable reload).  See
+        :func:`repro.durability.recovery.open_store`."""
+        from repro.durability.recovery import open_store
+
+        return open_store(
+            data_dir, options=options, stats=stats, sync_listener=sync_listener, **lsm_kwargs
+        )
 
     # ------------------------------------------------------------- write path
     def put(self, key: bytes, value: bytes) -> None:
         self.stats.puts += 1
+        if self.backend is not None:
+            self.backend.log_put(key, value)
         self.mem.put(key, value)
         if len(self.mem) >= self.memtable_limit:
             self._flush()
 
     def delete(self, key: bytes) -> None:
         self.stats.deletes += 1
+        if self.backend is not None:
+            self.backend.log_delete(key)
         self.mem.delete(key)
         if len(self.mem) >= self.memtable_limit:
             self._flush()
@@ -138,8 +170,16 @@ class LSMStore:
         self.stats.flushes += 1
         self.stats.bytes_flushed += run.size_bytes
         self.mem.clear()
+        flush_lsn = 0
+        if self.backend is not None:
+            self.backend.edit_add(0, None, run)
+            # every record now in SSTables was logged at or before this LSN,
+            # so the WAL prefix up to it is retirable once the commit lands
+            flush_lsn = self.backend.last_appended_lsn
         if len(self.level0) > self.level0_limit:
             self._compact_level0()
+        if self.backend is not None:
+            self.backend.commit(flush_lsn)
 
     def flush(self) -> None:
         """Force the memtable down into level 0 (checkpoint/migration prep)."""
@@ -156,6 +196,8 @@ class LSMStore:
         los = sorted({keys[i] for i in range(0, len(keys), step)})
         los[0] = b""  # first guard catches everything from the left
         self.levels[level] = [_Guard(lo) for lo in los]
+        if self.backend is not None:
+            self.backend.note_guards(level, los)
 
     def _guard_index(self, level: int, key: bytes) -> int:
         guards = self.levels[level]
@@ -167,6 +209,9 @@ class LSMStore:
         self.stats.compactions += 1
         runs = self.level0
         self.level0 = []
+        if self.backend is not None:
+            for run in runs:
+                self.backend.edit_remove(0, None, run)
         merged = merge_runs(runs, drop_tombstones=False)
         if not merged:
             return
@@ -185,7 +230,10 @@ class LSMStore:
             buckets.setdefault(self._guard_index(level, k), []).append((k, v))
         for gi, bucket in buckets.items():
             guard = guards[gi]
-            guard.runs.insert(0, SSTable(bucket))
+            run = SSTable(bucket)
+            guard.runs.insert(0, run)
+            if self.backend is not None:
+                self.backend.edit_add(level, guard.lo, run)
             if len(guard.runs) > self.runs_per_guard:
                 self._compact_guard(level, guard)
 
@@ -196,11 +244,17 @@ class LSMStore:
         at_bottom = level >= self.max_levels - 1
         merged = merge_runs(guard.runs, drop_tombstones=at_bottom)
         self.stats.bytes_compacted += sum(len(k) + len(v) for k, v in merged)
+        if self.backend is not None:
+            for run in guard.runs:
+                self.backend.edit_remove(level, guard.lo, run)
         guard.runs = []
         if not merged:
             return
         if at_bottom:
-            guard.runs = [SSTable(merged)]
+            run = SSTable(merged)
+            guard.runs = [run]
+            if self.backend is not None:
+                self.backend.edit_add(level, guard.lo, run)
         else:
             self._push_into_level(level + 1, merged)
 
@@ -249,6 +303,33 @@ class LSMStore:
         for k in sorted(shadow):
             if shadow[k] != TOMBSTONE:
                 yield k, shadow[k]
+
+    # -------------------------------------------------------------- lifecycle
+    def sync(self) -> int:
+        """Force the WAL group-commit batch durable (no-op without backend).
+
+        Returns the number of records acknowledged by this call."""
+        if self.backend is None:
+            return 0
+        return self.backend.sync()
+
+    def close(self) -> None:
+        """Clean shutdown: sync the WAL tail and release file handles.
+
+        The memtable is *not* flushed — its contents live in the WAL and are
+        replayed by the next :meth:`open`, which keeps close cheap and keeps
+        the recovery path exercised on every clean reopen."""
+        if self.backend is None:
+            return
+        self.backend.close()
+
+    def crash(self) -> None:
+        """Simulate a process crash: unacknowledged (unsynced) writes vanish.
+
+        The store object is unusable afterwards; reopen via :meth:`open`."""
+        if self.backend is None:
+            return
+        self.backend.crash()
 
     # ---------------------------------------------------------------- metrics
     def __len__(self) -> int:

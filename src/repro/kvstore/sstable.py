@@ -17,7 +17,8 @@ __all__ = ["SSTable", "merge_runs"]
 class SSTable:
     """An immutable sorted run of (key, value) pairs."""
 
-    __slots__ = ("_keys", "_values", "_filter", "min_key", "max_key", "size_bytes")
+    __slots__ = ("_keys", "_values", "_filter", "min_key", "max_key", "size_bytes",
+                 "file_number")
 
     def __init__(self, entries: Sequence[Tuple[bytes, bytes]]):
         if not entries:
@@ -31,6 +32,8 @@ class SSTable:
         self.min_key = keys[0]
         self.max_key = keys[-1]
         self.size_bytes = sum(len(k) + len(v) for k, v in entries)
+        # set by the durability backend when this run is persisted on disk
+        self.file_number: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._keys)

@@ -114,6 +114,10 @@ class Observability:
                     reg.gauge(f"kvstore_{name}", f"LSM store {name}").labels(
                         mds=label
                     ).set(value)
+                if getattr(s, "recovery_ms_total", 0.0) > 0.0:
+                    reg.gauge(
+                        "mds_recovery_ms_total", "modeled recovery warm-up (ms)"
+                    ).labels(mds=label).set(s.recovery_ms_total)
 
         if getattr(fs, "faults", None) is not None:
             for name, value in fs.faults.summary().items():

@@ -51,6 +51,9 @@ class Decomposition:
     cache_misses: int = 0
     kv_gets: int = 0
     kv_probes: int = 0
+    wal_appends: int = 0
+    wal_bytes: int = 0
+    wal_ms: float = 0.0
     by_op: Dict[str, "Decomposition"] = field(default_factory=dict)
 
     @property
@@ -89,6 +92,10 @@ class Decomposition:
         self.cache_misses += span["cache_misses"]
         self.kv_gets += span.get("kv_gets", 0)
         self.kv_probes += span.get("kv_probes", 0)
+        # schema v2 spans predate the durability layer
+        self.wal_appends += span.get("wal_appends", 0)
+        self.wal_bytes += span.get("wal_bytes", 0)
+        self.wal_ms += span.get("wal_ms", 0.0)
 
 
 def decompose(spans: Iterable[Dict[str, Any]]) -> Decomposition:
@@ -109,8 +116,12 @@ def _component_rows(d: Decomposition) -> List[List[Any]]:
     rows = [
         ["queue wait", d.queue_ms / n, d.queue_ms / n / mean],
         ["MDS service", d.service_ms / n, d.service_ms / n / mean],
-        ["network (RPC)", d.net_ms / n, d.net_ms / n / mean],
     ]
+    if d.wal_ms > 0:
+        # informational sub-component of MDS service — already inside it,
+        # so it does not join the sum-of-components identity
+        rows.append(["  of which WAL/fsync", d.wal_ms / n, d.wal_ms / n / mean])
+    rows.append(["network (RPC)", d.net_ms / n, d.net_ms / n / mean])
     if d.fault_wait_ms > 0:
         rows.append(
             ["fault waiting", d.fault_wait_ms / n, d.fault_wait_ms / n / mean]
@@ -182,5 +193,10 @@ def render_trace_report(spans: List[Dict[str, Any]], source: str = "") -> str:
         parts.append(
             f"kvstore: {d.kv_gets:,} gets, {d.kv_probes:,} runs probed "
             f"({d.kv_probes / d.kv_gets:.2f} probes/get)"
+        )
+    if d.wal_appends:
+        parts.append(
+            f"durability: {d.wal_appends:,} WAL appends, {d.wal_bytes:,} bytes logged, "
+            f"{d.wal_ms / (d.n_spans or 1) * 1000:.1f} us/op on WAL+fsync"
         )
     return "\n\n".join(parts)

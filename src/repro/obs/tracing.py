@@ -33,7 +33,9 @@ __all__ = ["Span", "Tracer", "JsonlTracer", "NULL_TRACER", "SPAN_SCHEMA_VERSION"
 
 #: bump when span fields change incompatibly (consumers check this)
 #: v2: fault fields (fault_wait_ms, retries, failovers, fault reason)
-SPAN_SCHEMA_VERSION = 2
+#: v3: durability fields (wal_appends, wal_bytes, wal_ms) — wal_ms is an
+#:     informational sub-component of service_ms, not a new identity term
+SPAN_SCHEMA_VERSION = 3
 
 _OP_NAMES = {int(v): v.name.lower() for v in OpType}
 
@@ -59,6 +61,9 @@ class Span:
         "cache_misses",
         "kv_gets",
         "kv_probes",
+        "wal_appends",
+        "wal_bytes",
+        "wal_ms",
         "migration_recalls",
         "fault_wait_ms",
         "retries",
@@ -85,6 +90,9 @@ class Span:
         self.cache_misses = 0
         self.kv_gets = 0
         self.kv_probes = 0
+        self.wal_appends = 0
+        self.wal_bytes = 0
+        self.wal_ms = 0.0
         self.migration_recalls = 0
         self.fault_wait_ms = 0.0
         self.retries = 0
@@ -116,6 +124,9 @@ class Span:
             "cache_misses": self.cache_misses,
             "kv_gets": self.kv_gets,
             "kv_probes": self.kv_probes,
+            "wal_appends": self.wal_appends,
+            "wal_bytes": self.wal_bytes,
+            "wal_ms": self.wal_ms,
             "lease_recalls": self.migration_recalls,
             "fault_wait_ms": self.fault_wait_ms,
             "retries": self.retries,

@@ -18,12 +18,14 @@ rates this workload produces (millions of events per run):
   perturbs another component's random sequence.
 """
 
+from repro.sim.durcost import DurabilityCostModel
 from repro.sim.engine import Environment, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import FifoQueue, Resource, Store
 from repro.sim.rng import RngStream, SeedSequenceFactory
 
 __all__ = [
+    "DurabilityCostModel",
     "Environment",
     "Event",
     "Interrupt",

@@ -281,6 +281,20 @@ class Environment:
         """Time of the next event, or ``inf`` when the calendar is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def warp(self, to_time: float) -> None:
+        """Jump the clock forward on an *empty* calendar (checkpoint restore).
+
+        A checkpoint captures a quiescent simulation — nothing scheduled —
+        so restoring one only needs the clock moved to the capture time.
+        Warping with pending events would fire them in the past, so that is
+        rejected outright."""
+        to_time = float(to_time)
+        if self._queue:
+            raise RuntimeError("cannot warp a calendar with pending events")
+        if to_time < self._now:
+            raise ValueError(f"warp target {to_time} lies in the past (now={self._now})")
+        self._now = to_time
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the calendar drains or virtual time reaches ``until``.
 

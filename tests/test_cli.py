@@ -136,6 +136,59 @@ def test_report_command(tmp_path, capsys):
     assert "per-operation breakdown" in out
 
 
+def test_simulate_data_dir_checkpoint_resume_roundtrip(tmp_path, capsys):
+    data_dir = str(tmp_path / "stores")
+    ckpt = str(tmp_path / "run.ckpt")
+    args = ["simulate", "Lunule", "rw", "--ops", "4000", "--mds", "3",
+            "--clients", "20", "--data-dir", data_dir]
+    assert main(args + ["--checkpoint", ckpt]) == 0
+    out = capsys.readouterr().out
+    assert "WAL appends" in out
+    assert "checkpoint written" in out
+    # resuming a finished run replays nothing new but must succeed cleanly
+    assert main(args + ["--resume", ckpt]) == 0
+    out = capsys.readouterr().out
+    assert "resumed from" in out
+
+
+def test_simulate_resume_rejects_mismatched_config(tmp_path, capsys):
+    data_dir = str(tmp_path / "stores")
+    ckpt = str(tmp_path / "run.ckpt")
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "3000", "--mds", "3",
+        "--clients", "20", "--data-dir", data_dir, "--checkpoint", ckpt,
+    ]) == 0
+    capsys.readouterr()
+    # different cluster size than the checkpoint was captured with
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "3000", "--mds", "4",
+        "--clients", "20", "--data-dir", data_dir, "--resume", ckpt,
+    ]) == 1
+    assert "cannot resume" in capsys.readouterr().err
+
+
+def test_recover_command(tmp_path, capsys):
+    data_dir = str(tmp_path / "stores")
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "4000", "--mds", "3",
+        "--clients", "20", "--data-dir", data_dir,
+    ]) == 0
+    capsys.readouterr()
+    report = str(tmp_path / "recover.json")
+    assert main(["recover", data_dir, "--json", report]) == 0
+    out = capsys.readouterr().out
+    assert "mds-0" in out and "mds-2" in out
+    assert "total modeled recovery" in out
+    blob = json.load(open(report))
+    assert len(blob) == 3
+    assert all(b["modeled_recovery_ms"] >= 0 for b in blob)
+
+
+def test_recover_command_rejects_missing_dir(tmp_path, capsys):
+    assert main(["recover", str(tmp_path / "nope")]) == 1
+    assert "not a directory" in capsys.readouterr().err
+
+
 def test_run_profile_flag(capsys):
     assert main(["run", "fig2_even_partitioning", "--scale", "smoke", "--profile"]) == 0
     out = capsys.readouterr().out

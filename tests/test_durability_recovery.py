@@ -1,0 +1,295 @@
+"""Crash-consistent recovery tests (repro.durability.recovery).
+
+The centrepiece is the crash-at-any-offset sweep: truncating the WAL at
+EVERY byte offset must recover exactly the acknowledged prefix of writes —
+never a partial record, never a lost acked record.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.durability import DurabilityOptions, inspect_data_dir, open_store
+from repro.durability.errors import (
+    ManifestError,
+    SSTableCorruptionError,
+)
+from repro.durability.wal import _SEG_HEADER, encode_record, scan_segments
+from repro.kvstore import LSMStore
+
+OPTS = DurabilityOptions(use_fsync=False)
+
+
+def live(store):
+    return dict(store.scan(b"", b"\xff" * 8))
+
+
+# ------------------------------------------------------------ open lifecycle
+
+
+def test_open_initialises_fresh_directory(tmp_path):
+    s = open_store(str(tmp_path / "d"), options=OPTS)
+    assert live(s) == {}
+    assert s.stats.recoveries == 0
+    assert s.backend is not None
+    s.close()
+
+
+def test_close_reopen_roundtrip_preserves_everything(tmp_path):
+    d = str(tmp_path / "d")
+    s = open_store(d, options=OPTS, memtable_limit=8)
+    expect = {}
+    for i in range(100):
+        k, v = b"k%04d" % i, b"v%d" % i
+        s.put(k, v)
+        expect[k] = v
+    for i in range(0, 100, 3):
+        k = b"k%04d" % i
+        s.delete(k)
+        expect.pop(k)
+    s.close()
+    s2 = open_store(d, options=OPTS, memtable_limit=8)
+    assert s2.stats.recoveries == 1
+    assert live(s2) == expect
+    for k, v in expect.items():
+        assert s2.get(k) == v
+    s2.close()
+
+
+def test_reopen_cycles_accumulate(tmp_path):
+    d = str(tmp_path / "d")
+    expect = {}
+    for cycle in range(5):
+        s = open_store(d, options=OPTS, memtable_limit=4)
+        assert live(s) == expect
+        for i in range(20):
+            k = b"c%d-k%02d" % (cycle, i)
+            s.put(k, b"v")
+            expect[k] = b"v"
+        s.close()
+    s = open_store(d, options=OPTS, memtable_limit=4)
+    assert live(s) == expect
+    assert s.stats.recoveries == 1  # per-open counter on fresh stats
+    s.close()
+
+
+def test_memtable_only_store_survives_reopen(tmp_path):
+    # close() does not flush: the memtable must come back via WAL replay
+    d = str(tmp_path / "d")
+    s = open_store(d, options=OPTS, memtable_limit=1000)
+    s.put(b"only", b"in-wal")
+    s.close()
+    assert not os.path.isdir(os.path.join(d, "sst")) or not os.listdir(
+        os.path.join(d, "sst")
+    )
+    s2 = open_store(d, options=OPTS, memtable_limit=1000)
+    assert s2.get(b"only") == b"in-wal"
+    s2.close()
+
+
+def test_recovery_report_records_work(tmp_path):
+    d = str(tmp_path / "d")
+    s = open_store(d, options=OPTS, memtable_limit=8)
+    for i in range(80):
+        s.put(b"k%04d" % i, b"x" * 32)
+    s.close()
+    s2 = open_store(d, options=OPTS, memtable_limit=8)
+    rep = s2.last_recovery
+    assert rep.tables_loaded > 0
+    assert rep.sst_bytes_loaded > 0
+    assert rep.wal_bytes_scanned >= 0
+    assert rep.manifest_edits > 0
+    d2 = rep.as_dict()
+    assert d2["tables_loaded"] == float(rep.tables_loaded)
+    s2.close()
+
+
+# ----------------------------------------------------- crash-path semantics
+
+
+def test_crash_loses_only_unacked_writes(tmp_path):
+    d = str(tmp_path / "d")
+    s = open_store(d, options=DurabilityOptions(use_fsync=False, group_commit_records=1000),
+                   memtable_limit=1000)
+    s.put(b"acked", b"1")
+    s.sync()
+    s.put(b"unacked", b"2")  # buffered, never group-committed
+    s.crash()
+    s2 = open_store(d, options=OPTS, memtable_limit=1000)
+    assert s2.get(b"acked") == b"1"
+    assert s2.get(b"unacked") is None
+    s2.close()
+
+
+def test_flush_makes_writes_durable_without_sync(tmp_path):
+    # a flush persists SSTables + manifest, so even unsynced WAL records
+    # whose data reached tables survive a crash
+    d = str(tmp_path / "d")
+    s = open_store(d, options=DurabilityOptions(use_fsync=False, group_commit_records=1000),
+                   memtable_limit=4)
+    for i in range(8):  # two flushes
+        s.put(b"k%d" % i, b"v")
+    s.crash()
+    s2 = open_store(d, options=OPTS)
+    for i in range(8):
+        assert s2.get(b"k%d" % i) == b"v"
+    s2.close()
+
+
+def test_orphan_sstable_is_ignored(tmp_path):
+    d = str(tmp_path / "d")
+    s = open_store(d, options=OPTS, memtable_limit=4)
+    for i in range(10):
+        s.put(b"k%d" % i, b"v")
+    s.close()
+    # simulate a crash between persist_run (1) and manifest commit (2):
+    # an .sst file exists that no manifest edit references
+    from repro.durability.sstable_io import sstable_path, write_sstable
+
+    orphan = sstable_path(os.path.join(d, "sst"), 9999)
+    write_sstable(orphan, [(b"ghost", b"boo")], use_fsync=False)
+    s2 = open_store(d, options=OPTS, memtable_limit=4)
+    assert s2.get(b"ghost") is None
+    s2.close()
+
+
+def test_corrupt_live_sstable_raises_typed(tmp_path):
+    d = str(tmp_path / "d")
+    s = open_store(d, options=OPTS, memtable_limit=4)
+    for i in range(30):
+        s.put(b"k%04d" % i, b"x" * 16)
+    s.close()
+    sst_dir = os.path.join(d, "sst")
+    victim = sorted(os.listdir(sst_dir))[0]
+    path = os.path.join(sst_dir, victim)
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF
+    open(path, "wb").write(bytes(blob))
+    with pytest.raises(SSTableCorruptionError):
+        open_store(d, options=OPTS, memtable_limit=4)
+
+
+def test_deep_compaction_state_survives_reopen(tmp_path):
+    d = str(tmp_path / "d")
+    s = open_store(d, options=OPTS, memtable_limit=4, runs_per_guard=2,
+                   level0_limit=2, max_levels=4)
+    expect = {}
+    for i in range(400):
+        k = b"k%05d" % i
+        s.put(k, b"v%d" % i)
+        expect[k] = b"v%d" % i
+    for i in range(0, 100):
+        k = b"k%05d" % i
+        s.delete(k)
+        expect.pop(k)
+    assert s.stats.compactions > 0
+    s.close()
+    s2 = open_store(d, options=OPTS, memtable_limit=4, runs_per_guard=2,
+                    level0_limit=2, max_levels=4)
+    assert live(s2) == expect
+    # guard structure came back too: reads don't devolve into full scans
+    assert any(s2.levels[lv] for lv in range(1, s2.max_levels))
+    s2.close()
+
+
+# ------------------------------------- the invariant: crash at ANY offset
+
+
+def test_recovery_exact_at_every_truncation_offset(tmp_path):
+    """Truncate the (only) WAL segment at every byte offset; recovery must
+    surface exactly the records whose frames are fully inside the prefix."""
+    d = str(tmp_path / "origin")
+    s = open_store(d, options=DurabilityOptions(use_fsync=False, group_commit_records=1),
+                   memtable_limit=10_000)  # everything stays in the WAL
+    writes = []
+    for i in range(12):
+        k, v = b"key%02d" % i, b"val%02d" % i
+        s.put(k, v)
+        writes.append((k, v))
+    s.close()
+    segs = scan_segments(os.path.join(d, "wal"))
+    assert len(segs) == 1
+    seg_path_rel = os.path.relpath(segs[0].path, d)
+    full = open(segs[0].path, "rb").read()
+
+    # frame boundaries: header, then one frame per record
+    bounds = [_SEG_HEADER.size]
+    for k, v in writes:
+        from repro.durability.wal import REC_PUT
+
+        bounds.append(bounds[-1] + len(encode_record(REC_PUT, k, v)))
+    assert bounds[-1] == len(full)
+
+    for cut in range(len(full) + 1):
+        work = str(tmp_path / "work")
+        if os.path.exists(work):
+            shutil.rmtree(work)
+        shutil.copytree(d, work)
+        with open(os.path.join(work, seg_path_rel), "r+b") as f:
+            f.truncate(cut)
+        # number of records fully contained in the first `cut` bytes
+        n_ok = sum(1 for b in bounds[1:] if b <= cut)
+        s2 = open_store(work, options=OPTS, memtable_limit=10_000)
+        assert live(s2) == dict(writes[:n_ok]), f"cut at byte {cut}"
+        # recovery may continue appending: the store stays writable
+        s2.put(b"after", b"crash")
+        assert s2.get(b"after") == b"crash"
+        s2.close()
+
+
+def test_recovery_truncates_torn_tail_in_place(tmp_path):
+    d = str(tmp_path / "d")
+    s = open_store(d, options=DurabilityOptions(use_fsync=False, group_commit_records=1),
+                   memtable_limit=1000)
+    for i in range(5):
+        s.put(b"k%d" % i, b"v")
+    s.close()
+    seg = scan_segments(os.path.join(d, "wal"))[0]
+    size = os.path.getsize(seg.path)
+    with open(seg.path, "r+b") as f:
+        f.truncate(size - 2)
+    s2 = open_store(d, options=OPTS, memtable_limit=1000)
+    assert s2.last_recovery.torn_tail
+    assert len(live(s2)) == 4
+    s2.close()
+    # the torn bytes are gone from disk: a third open sees a clean log
+    s3 = open_store(d, options=OPTS, memtable_limit=1000)
+    assert not s3.last_recovery.torn_tail
+    assert len(live(s3)) == 4
+    s3.close()
+
+
+# -------------------------------------------------------------- inspection
+
+
+def test_inspect_data_dir_summary(tmp_path):
+    d = str(tmp_path / "d")
+    s = open_store(d, options=OPTS, memtable_limit=8)
+    for i in range(40):
+        s.put(b"k%04d" % i, b"x" * 16)
+    s.close()
+    info = inspect_data_dir(d)
+    assert info["data_dir"] == d
+    assert info["manifest_edits"] > 0
+    assert info["live_tables"] > 0
+    assert info["sst_bytes"] > 0
+    assert info["wal_last_lsn"] == 40
+    assert info["torn_tail"] is False
+    # inspection is read-only: a second call sees identical state
+    assert inspect_data_dir(d) == info
+
+
+def test_inspect_empty_dir_raises_typed(tmp_path):
+    with pytest.raises(ManifestError):
+        inspect_data_dir(str(tmp_path))
+
+
+def test_lsmstore_open_classmethod_delegates(tmp_path):
+    d = str(tmp_path / "d")
+    s = LSMStore.open(d, options=OPTS)
+    s.put(b"a", b"1")
+    s.close()
+    s2 = LSMStore.open(d, options=OPTS)
+    assert s2.get(b"a") == b"1"
+    s2.close()

@@ -191,3 +191,82 @@ def test_lsm_run_count_bounded_by_guards():
 def test_lsm_invalid_params():
     with pytest.raises(ValueError):
         LSMStore(memtable_limit=0)
+
+
+# ------------------------------------------------- tombstone resurrection
+
+# Regression guard: a delete whose tombstone is dropped at the bottom level
+# must never let an older value for the same key reappear — not through
+# deeper churn, not across guard boundaries, not across a durable reopen.
+
+
+def _churny_store(**extra):
+    kw = dict(memtable_limit=4, runs_per_guard=2, level0_limit=2, max_levels=3)
+    kw.update(extra)
+    return LSMStore(**kw)
+
+
+def test_tombstone_never_resurrects_under_deep_churn():
+    s = _churny_store()
+    n = 300
+    for i in range(n):
+        s.put(b"k%05d" % i, b"original")
+    # values have sunk well past level 0 by now
+    assert s.stats.compactions > 0
+    victims = [b"k%05d" % i for i in range(0, n, 7)]
+    for k in victims:
+        s.delete(k)
+    # churn rounds: every flush/compaction cascade is a chance for a
+    # bottom-level rewrite to drop the tombstone and resurface the original
+    for rnd in range(6):
+        for i in range(60):
+            s.put(b"churn%d-%03d" % (rnd, i), b"x")
+        for k in victims:
+            assert s.get(k) is None, f"{k!r} resurrected in churn round {rnd}"
+    live = dict(s.scan(b"", b"\xff"))
+    assert not any(k in live for k in victims)
+    # survivors are untouched
+    for i in range(1, n, 7):
+        assert s.get(b"k%05d" % i) == b"original"
+
+
+def test_tombstone_drop_at_bottom_does_not_lose_reinserts():
+    # delete then re-put the same key: the re-put must win through the same
+    # compaction paths that drop the older tombstone
+    s = _churny_store()
+    for i in range(200):
+        s.put(b"k%05d" % i, b"v1")
+    for i in range(0, 200, 5):
+        s.delete(b"k%05d" % i)
+    for i in range(0, 200, 10):
+        s.put(b"k%05d" % i, b"v2")
+    for rnd in range(4):
+        for i in range(50):
+            s.put(b"pad%d-%03d" % (rnd, i), b"x")
+    for i in range(0, 200, 10):
+        assert s.get(b"k%05d" % i) == b"v2"
+    for i in range(5, 200, 10):
+        assert s.get(b"k%05d" % i) is None
+
+
+def test_tombstone_never_resurrects_across_durable_reopen(tmp_path):
+    from repro.durability import DurabilityOptions, open_store
+
+    opts = DurabilityOptions(use_fsync=False)
+    kw = dict(memtable_limit=4, runs_per_guard=2, level0_limit=2, max_levels=3)
+    d = str(tmp_path / "store")
+    s = open_store(d, options=opts, **kw)
+    for i in range(200):
+        s.put(b"k%05d" % i, b"original")
+    victims = [b"k%05d" % i for i in range(0, 200, 7)]
+    for k in victims:
+        s.delete(k)
+    for i in range(80):
+        s.put(b"churn%03d" % i, b"x")
+    s.close()
+    s2 = open_store(d, options=opts, **kw)
+    for k in victims:
+        assert s2.get(k) is None, f"{k!r} resurrected across reopen"
+    for i in range(1, 200, 7):
+        assert s2.get(b"k%05d" % i) == b"original"
+    s2.close()

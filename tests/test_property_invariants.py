@@ -163,6 +163,60 @@ def test_lsm_matches_dict_model(cmds, memtable_limit):
     assert dict(store.scan(b"", b"z")) == model
 
 
+@st.composite
+def kv_durable_commands(draw):
+    """put/delete traffic interleaved with clean closes and simulated
+    crashes (every append is group-committed, so a crash loses nothing
+    acknowledged and the dict model stays exact)."""
+    n = draw(st.integers(1, 80))
+    cmds = []
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(["put", "put", "put", "delete", "reopen", "crash"])
+        )
+        cmds.append((kind, draw(st.integers(0, 30)), draw(st.integers(0, 10**9))))
+    return cmds
+
+
+@given(kv_durable_commands(), st.integers(2, 12))
+@settings(
+    max_examples=30,  # each example does real file IO
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_durable_lsm_matches_dict_model_across_reopens(cmds, memtable_limit):
+    import tempfile
+
+    from repro.durability import DurabilityOptions, open_store
+
+    opts = DurabilityOptions(use_fsync=False, group_commit_records=1, segment_bytes=1024)
+    with tempfile.TemporaryDirectory() as d:
+        store = open_store(d, options=opts, memtable_limit=memtable_limit)
+        model = {}
+        known = set()
+        for kind, key, val in cmds:
+            k = b"k%04d" % key
+            if kind == "reopen":
+                store.close()
+                store = open_store(d, options=opts, memtable_limit=memtable_limit)
+            elif kind == "crash":
+                store.crash()
+                store = open_store(d, options=opts, memtable_limit=memtable_limit)
+            elif kind == "delete":
+                known.add(k)
+                store.delete(k)
+                model.pop(k, None)
+            else:
+                known.add(k)
+                v = b"v%d" % val
+                store.put(k, v)
+                model[k] = v
+        for k in known:
+            assert store.get(k) == model.get(k)
+        assert dict(store.scan(b"", b"z")) == model
+        store.close()
+
+
 @given(kv_commands())
 @SET
 def test_lsm_scan_always_sorted(cmds):
