@@ -32,6 +32,15 @@ DEFAULT_THRESHOLDS: Dict[str, float] = {
     "steady_state_throughput": 0.05,
     "throughput_ops_per_sec": 0.05,
     "rpcs_per_request": 0.05,
+    # engine-event counts are a pure function of the simulation, so a
+    # virtual-time rate shift means the code now schedules more events for
+    # the same work — gate it tightly in both profiles
+    "engine_events_per_virtual_sec": 0.10,
+    # wall-clock simulator speed (volatile "perf" section): only meaningful
+    # when baseline and candidate ran on the same machine, so gate it in
+    # the default (local) profile with generous headroom and leave it out
+    # of smoke, where CI compares against committed cross-machine baselines
+    "engine_events_per_wall_sec": 0.30,
 }
 
 #: relaxed profile for CI smoke runs (tiny traces are noisier)
@@ -41,6 +50,7 @@ SMOKE_THRESHOLDS: Dict[str, float] = {
     "steady_state_throughput": 0.25,
     "throughput_ops_per_sec": 0.25,
     "rpcs_per_request": 0.20,
+    "engine_events_per_virtual_sec": 0.10,
 }
 
 THRESHOLD_PROFILES: Dict[str, Dict[str, float]] = {
@@ -56,8 +66,20 @@ _HIGHER_IS_BETTER_PREFIXES = (
     "cache_hit_rate",
 )
 
+#: exact names that invert the prefix rule — engine_events* is otherwise
+#: lower-better (fewer events for the same work = cheaper simulation), but
+#: the *wall* rate measures simulator speed, where more events/sec wins
+_HIGHER_IS_BETTER_NAMES = frozenset(
+    {
+        "engine_events_per_wall_sec",
+        "timeline.peak_ops_per_sec",
+    }
+)
+
 
 def is_higher_better(metric: str) -> bool:
+    if metric in _HIGHER_IS_BETTER_NAMES:
+        return True
     return metric.startswith(_HIGHER_IS_BETTER_PREFIXES)
 
 
@@ -176,21 +198,40 @@ def compare_artifacts(
     result.missing_in_candidate = sorted(set(base_agg) - set(cand_agg))
     result.missing_in_baseline = sorted(set(cand_agg) - set(base_agg))
     for variant in sorted(set(base_agg) & set(cand_agg)):
-        b_metrics, c_metrics = base_agg[variant], cand_agg[variant]
-        for metric in sorted(set(b_metrics) & set(c_metrics)):
-            b_mean = float(b_metrics[metric]["mean"])
-            c_mean = float(c_metrics[metric]["mean"])
-            frac = _regression_fraction(metric, b_mean, c_mean)
-            limit = limits.get(metric)
-            result.rows.append(
-                CompareRow(
-                    variant=variant,
-                    metric=metric,
-                    baseline=b_mean,
-                    candidate=c_mean,
-                    regression_frac=frac,
-                    threshold=limit,
-                    regressed=limit is not None and frac > limit,
-                )
-            )
+        _diff_metrics(result, limits, variant, base_agg[variant], cand_agg[variant])
+    # the volatile "perf" section (engine events per wall second) never
+    # enters the deterministic core, but when BOTH artifacts carry it —
+    # i.e. both were produced by this runner, typically on one machine —
+    # its per-variant means are diffed like any other aggregate; whether
+    # they *gate* is up to the profile (default: yes, smoke: no)
+    base_perf = baseline.get("perf") or {}
+    cand_perf = candidate.get("perf") or {}
+    for variant in sorted(set(base_perf) & set(cand_perf)):
+        _diff_metrics(result, limits, variant, base_perf[variant], cand_perf[variant])
     return result
+
+
+def _diff_metrics(
+    result: CompareResult,
+    limits: Mapping[str, float],
+    variant: str,
+    b_metrics: Mapping[str, Any],
+    c_metrics: Mapping[str, Any],
+) -> None:
+    """Diff one variant's metric->summary maps into ``result.rows``."""
+    for metric in sorted(set(b_metrics) & set(c_metrics)):
+        b_mean = float(b_metrics[metric]["mean"])
+        c_mean = float(c_metrics[metric]["mean"])
+        frac = _regression_fraction(metric, b_mean, c_mean)
+        limit = limits.get(metric)
+        result.rows.append(
+            CompareRow(
+                variant=variant,
+                metric=metric,
+                baseline=b_mean,
+                candidate=c_mean,
+                regression_frac=frac,
+                threshold=limit,
+                regressed=limit is not None and frac > limit,
+            )
+        )

@@ -34,6 +34,8 @@ HEADLINE_METRICS = (
     "failed_ops",
     "imbalance_qps",
     "imbalance_busytime",
+    "engine_events",
+    "engine_events_per_virtual_sec",
 )
 
 
@@ -66,7 +68,12 @@ def run_variant(
     if collect_obs:
         from repro.obs import Observability
 
-        obs = Observability(metrics=True)
+        # one timeline window per rebalance epoch: coarse enough to stay
+        # cheap at any scale, fine enough for the artifact's peak/imbalance
+        # summaries to mean something
+        obs = Observability(
+            metrics=True, timeline=True, timeline_window_ms=scale.epoch_ms
+        )
     n_ops = max(1, int(round(scale.n_ops * variant.ops_factor)))
     with contextlib.ExitStack() as stack:
         data_dir = None
@@ -128,7 +135,17 @@ def extract_metrics(result, obs=None) -> Dict[str, float]:
         "failed_ops": float(result.failed_ops),
         "imbalance_qps": float(imb.qps),
         "imbalance_busytime": float(imb.busytime),
+        # engine-throughput signal (ROADMAP item 1): events are a pure
+        # function of the simulation, so both are deterministic and safe to
+        # gate strictly — the *wall*-clock rate lives in the volatile
+        # ``perf`` section instead (see runner.run_scenario)
+        "engine_events": float(result.engine_events),
+        "engine_events_per_virtual_sec": float(result.engine_events_per_virtual_sec),
     }
+    if result.timeline is not None:
+        for key in ("windows", "peak_ops_per_sec", "worst_p99_ms", "mean_imbalance"):
+            if key in result.timeline:
+                metrics[f"timeline.{key}"] = float(result.timeline[key])
     if result.faults is not None:
         for key in ("crashes", "restarts", "retries", "failovers"):
             metrics[f"faults.{key}"] = float(result.faults[key])

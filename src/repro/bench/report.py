@@ -14,6 +14,7 @@ HEADLINE_COLUMNS = (
     ("rpcs_per_request", "rpc/req", 1.0),
     ("migrations", "migr", 1.0),
     ("cache_hit_rate", "hit", 1.0),
+    ("engine_events_per_virtual_sec", "kev/vs", 1e-3),
 )
 
 
@@ -44,4 +45,19 @@ def render_artifact(artifact: Dict[str, Any]) -> str:
         rows,
         "per-variant aggregates (mean over seeds)",
     )
-    return "\n".join([*header, "", table])
+    lines = [*header, "", table]
+    perf = artifact.get("perf")
+    if perf:
+        lines.append("")
+        lines.append("engine throughput (volatile, this machine):")
+        for variant, summaries in perf.items():
+            rate = summaries.get("engine_events_per_wall_sec")
+            wall = summaries.get("wall_s")
+            if rate is None or wall is None:
+                continue
+            lines.append(
+                f"  {variant}: {rate['mean'] / 1e3:,.0f} kevents/wall s "
+                f"(min {rate['min'] / 1e3:,.0f}, max {rate['max'] / 1e3:,.0f}; "
+                f"{wall['mean']:.2f} s/run)"
+            )
+    return "\n".join(lines)

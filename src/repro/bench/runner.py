@@ -58,6 +58,10 @@ def _run_cell(job: Tuple[str, str, int, str]) -> Dict[str, Any]:
         "seed": int(seed),
         "strategy": variant.strategy,
         "metrics": extract_metrics(result, obs),
+        # wall-clock engine time is machine-dependent: popped out of the row
+        # before artifact assembly and summarised into the volatile "perf"
+        # section, so the deterministic core stays byte-identical
+        "wall_s": float(result.wall_s),
     }
 
 
@@ -110,6 +114,7 @@ def run_scenario(
 
     order = {v.name: i for i, v in enumerate(scenario.variants)}
     rows.sort(key=lambda r: (order[r["variant"]], r["seed"]))
+    perf = _perf_section(rows)
     aggregates = aggregate_runs(rows, scenario.name)
     return build_artifact(
         scenario.to_dict(),
@@ -119,7 +124,37 @@ def run_scenario(
         aggregates,
         wall_s=time.perf_counter() - t0,
         workers=workers,
+        perf=perf,
     )
+
+
+def _perf_section(rows) -> Dict[str, Any]:
+    """Pop per-cell wall seconds out of the rows and summarise them.
+
+    The ``perf`` section is volatile (machine speed, worker contention):
+    :func:`repro.bench.store.strip_volatile` drops it before byte-identity
+    checks, while ``bench compare --profile default`` gates its
+    ``engine_events_per_wall_sec`` mean direction-aware — the explicit
+    simulator-speed metric from ROADMAP item 1.
+    """
+    from repro.bench.stats import summarize
+
+    by_variant: Dict[str, Dict[str, list]] = {}
+    for row in rows:
+        wall = row.pop("wall_s", 0.0)
+        per = by_variant.setdefault(row["variant"], {"wall_s": [], "rate": []})
+        per["wall_s"].append(wall)
+        events = row["metrics"].get("engine_events", 0.0)
+        per["rate"].append(events / wall if wall > 0 else 0.0)
+    return {
+        variant: {
+            "wall_s": summarize(per["wall_s"], stream_name="bench-perf"),
+            "engine_events_per_wall_sec": summarize(
+                per["rate"], stream_name="bench-perf"
+            ),
+        }
+        for variant, per in sorted(by_variant.items())
+    }
 
 
 def _run_pooled(jobs, workers: int, deadline: float):

@@ -5,9 +5,10 @@ One artifact per scenario, written as ``BENCH_<scenario>.json``:
 * ``schema_version`` — bumped on incompatible layout changes;
 * ``runs`` — per-(variant, seed) raw metric dicts;
 * ``aggregates`` — per-variant mean/p50/p95/p99 + bootstrap CIs;
-* ``environment`` / ``timing`` — fingerprint of the producing machine and
-  wall-clock info.  These two top-level keys are *volatile*: comparisons
-  and determinism checks strip them (:func:`strip_volatile`).
+* ``environment`` / ``timing`` / ``perf`` — fingerprint of the producing
+  machine, wall-clock info, and per-variant wall-rate summaries (engine
+  events per wall second).  These top-level keys are *volatile*:
+  comparisons and determinism checks strip them (:func:`strip_volatile`).
 
 Every byte of JSON leaving this module is **stable**: keys sorted,
 2-space indent, trailing newline — so committed baselines and regenerated
@@ -45,7 +46,7 @@ __all__ = [
 ARTIFACT_SCHEMA_VERSION = 1
 
 #: top-level keys excluded from comparisons and determinism checks
-VOLATILE_KEYS = ("environment", "timing")
+VOLATILE_KEYS = ("environment", "timing", "perf")
 
 _REQUIRED_KEYS = ("schema_version", "scenario", "scale", "seeds", "runs", "aggregates")
 
@@ -124,9 +125,10 @@ def build_artifact(
     aggregates: Dict[str, Any],
     wall_s: float,
     workers: int,
+    perf: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the schema-v1 artifact dict (scenario passed as its dict form)."""
-    return {
+    artifact = {
         "schema_version": ARTIFACT_SCHEMA_VERSION,
         "scenario": scenario["name"],
         "scenario_spec": scenario,
@@ -137,6 +139,12 @@ def build_artifact(
         "environment": environment_fingerprint(scale_name),
         "timing": {"wall_s": round(float(wall_s), 3), "workers": int(workers)},
     }
+    if perf is not None:
+        # per-variant wall-clock summaries (engine events/wall-sec etc.) —
+        # volatile like environment/timing, but still gateable by a compare
+        # profile when both artifacts come from the same machine
+        artifact["perf"] = perf
+    return artifact
 
 
 def write_artifact(artifact: Dict[str, Any], out_dir: Union[str, pathlib.Path]) -> pathlib.Path:
@@ -169,5 +177,5 @@ def load_artifact(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
 
 
 def strip_volatile(artifact: Dict[str, Any]) -> Dict[str, Any]:
-    """The comparable core of an artifact (drops environment/timing)."""
+    """The comparable core of an artifact (drops environment/timing/perf)."""
     return {k: v for k, v in artifact.items() if k not in VOLATILE_KEYS}

@@ -16,6 +16,10 @@ Commands:
   MANIFEST) and prices durability work into the run; ``--checkpoint`` /
   ``--resume`` capture and warm-restart a quiescent simulation;
 * ``report <trace.jsonl>`` — latency-decomposition report of a span trace;
+  ``--timeline`` adds steady-state events/sec and per-window throughput;
+* ``obs timeline|heatmap|slo`` — inspect a ``simulate --timeline`` JSONL:
+  per-window tables, ASCII per-MDS load heatmaps, and SLO verdicts
+  (``obs slo`` exits 1 on breach, for CI gating);
 * ``recover <data_dir>`` — read-only inspection of durable store
   directories: MANIFEST state, WAL tail to replay, modeled recovery cost;
 * ``plan <workload>`` — run Meta-OPT as an offline planner and print the
@@ -117,15 +121,60 @@ def build_parser() -> argparse.ArgumentParser:
                     help="JSON fault schedule (crashes, slowdowns, drops, partitions)")
     si.add_argument("--trace", dest="trace_out", default=None, metavar="PATH",
                     help="write request spans as JSONL here")
+    si.add_argument("--trace-sample", dest="trace_sample", type=int, default=1,
+                    metavar="N",
+                    help="keep every Nth span (deterministic by span ordinal; "
+                         "headline metrics stay bit-identical)")
     si.add_argument("--metrics", dest="metrics_out", default=None, metavar="PATH",
                     help="write a metrics-registry snapshot (JSON) here")
+    si.add_argument("--prom", dest="prom_out", default=None, metavar="PATH",
+                    help="write a Prometheus text-exposition metrics snapshot "
+                         "here (implies metrics collection)")
     si.add_argument("--audit", dest="audit_out", default=None, metavar="PATH",
                     help="write the balancer decision audit as JSONL here")
+    si.add_argument("--timeline", dest="timeline_out", default=None, metavar="PATH",
+                    help="collect windowed per-MDS/cluster telemetry and write "
+                         "the timeline as JSONL here (see `repro obs`)")
+    si.add_argument("--timeline-window-ms", dest="timeline_window_ms", type=float,
+                    default=None, metavar="MS",
+                    help="virtual-time window length (default: epoch_ms / 5)")
+    si.add_argument("--slo", dest="slo_path", default=None, metavar="SPEC",
+                    help="evaluate this JSON SLO spec against the run's timeline "
+                         "(implies timeline collection); exit 1 on breach")
     si.add_argument("--json", dest="json_out", default=None, metavar="PATH",
                     help="write the full SimResult (incl. per-epoch arrays) here")
 
     rp = sub.add_parser("report", help="latency-decomposition report of a span trace")
     rp.add_argument("trace", help="span JSONL file written by `simulate --trace`")
+    rp.add_argument("--timeline", dest="timeline_path", default=None, metavar="PATH",
+                    help="timeline JSONL from `simulate --timeline`: adds "
+                         "steady-state events/sec and per-window throughput")
+
+    ob = sub.add_parser("obs", help="inspect timeline telemetry files")
+    osub = ob.add_subparsers(dest="obs_command", required=True)
+
+    ot = osub.add_parser("timeline", help="per-window table of a timeline file")
+    ot.add_argument("timeline", help="JSONL written by `simulate --timeline`")
+    ot.add_argument("--limit", type=int, default=0, metavar="N",
+                    help="show only the last N windows (default: all)")
+
+    oh = osub.add_parser("heatmap", help="ASCII per-MDS load heatmap")
+    oh.add_argument("timeline", help="JSONL written by `simulate --timeline`")
+    oh.add_argument("--metric", default="ops",
+                    choices=("ops", "busy", "rpcs", "queue", "wal", "fsyncs",
+                             "migrations"),
+                    help="per-MDS series to shade (default: ops)")
+    oh.add_argument("--width", type=int, default=72, metavar="COLS",
+                    help="max heatmap columns; wider timelines are max-pooled")
+
+    os_ = osub.add_parser("slo", help="evaluate an SLO spec; exit 1 on breach")
+    os_.add_argument("timeline", help="JSONL written by `simulate --timeline`")
+    os_.add_argument("spec", help="JSON SLO spec (see docs/observability.md)")
+    os_.add_argument("--faults", dest="faults_path", default=None, metavar="PATH",
+                     help="fault schedule used by the run; annotates breaching "
+                          "windows that overlap injected faults")
+    os_.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                     help="write the full SLO report JSON here")
 
     rc = sub.add_parser("recover", help="inspect a durable data directory (read-only)")
     rc.add_argument("data_dir",
@@ -283,12 +332,35 @@ def _cmd_simulate(args) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"repro simulate: bad fault schedule: {exc}", file=sys.stderr)
             return 2
-    want_obs = args.trace_out or args.metrics_out or args.audit_out
+    if args.trace_sample < 1:
+        print(f"repro simulate: --trace-sample must be >= 1, got {args.trace_sample}",
+              file=sys.stderr)
+        return 2
+    slo_spec = None
+    if args.slo_path:
+        from repro.obs.slo import SloError, SloSpec
+
+        try:
+            slo_spec = SloSpec.load(args.slo_path)
+        except (OSError, SloError) as exc:
+            print(f"repro simulate: bad SLO spec: {exc}", file=sys.stderr)
+            return 2
+    epoch_ms = args.epoch_ms if args.epoch_ms is not None else scale.epoch_ms
+    want_metrics = args.metrics_out is not None or args.prom_out is not None
+    want_timeline = args.timeline_out is not None or slo_spec is not None
+    want_obs = args.trace_out or want_metrics or args.audit_out or want_timeline
     obs = (
         Observability(
-            metrics=args.metrics_out is not None,
+            metrics=want_metrics,
             trace_path=args.trace_out,
+            trace_sample=args.trace_sample,
             audit=args.audit_out is not None or args.metrics_out is not None,
+            timeline=want_timeline,
+            timeline_window_ms=(
+                args.timeline_window_ms
+                if args.timeline_window_ms is not None
+                else epoch_ms / 5.0
+            ),
         )
         if want_obs
         else None
@@ -296,7 +368,7 @@ def _cmd_simulate(args) -> int:
     config = SimConfig(
         n_mds=args.mds if args.strategy != "Single" else 1,
         n_clients=args.clients,
-        epoch_ms=args.epoch_ms if args.epoch_ms is not None else scale.epoch_ms,
+        epoch_ms=epoch_ms,
         params=CostParams(cache_depth=args.cache_depth),
         seed=args.seed,
         oracle_window_ops=9000,
@@ -318,10 +390,14 @@ def _cmd_simulate(args) -> int:
         return 1
     r = fs.run()
     imb = r.imbalance()
+    slo_breached = False
     print(f"strategy            : {r.strategy} on Trace-{args.kind.upper()} ({r.n_mds} MDS)")
     print(f"ops completed       : {r.ops_completed:,} over {r.duration_ms / 1000:.2f} virtual s")
     print(f"throughput          : {r.throughput_ops_per_sec / 1000:.1f} kops/s "
           f"(steady-state {r.steady_state_throughput() / 1000:.1f})")
+    print(f"engine throughput   : {r.engine_events_per_virtual_sec / 1000:.1f} "
+          f"kevents/virtual s ({r.engine_events_per_wall_sec / 1000:.0f} kevents/wall s, "
+          f"{r.engine_events:,} events in {r.wall_s:.2f} s)")
     print(f"latency mean/p99    : {r.mean_latency_ms * 1000:.0f} / {r.p99_latency_ms * 1000:.0f} us")
     print(f"RPCs per request    : {r.rpcs_per_request:.3f}")
     print(f"migrations          : {r.migrations} ({r.inodes_migrated:,} inodes)")
@@ -362,21 +438,52 @@ def _cmd_simulate(args) -> int:
                   f"vs realized {s['mean_realized_ms']:.2f} ms, "
                   f"sign agreement {s['sign_agreement']:.0%}")
         if args.trace_out:
-            print(f"[trace written to {args.trace_out}]")
+            sampled = f" (1-in-{args.trace_sample} sampled)" if args.trace_sample > 1 else ""
+            print(f"[trace written to {args.trace_out}{sampled}]")
         if args.metrics_out:
             with open(args.metrics_out, "w") as f:
                 json.dump(obs.metrics_snapshot(), f, indent=2)
                 f.write("\n")
             print(f"[metrics written to {args.metrics_out}]")
+        if args.prom_out:
+            from repro.obs.export import prometheus_text
+
+            with open(args.prom_out, "w") as f:
+                f.write(prometheus_text(obs.registry.snapshot()))
+            print(f"[prometheus snapshot written to {args.prom_out}]")
         if args.audit_out and obs.audit is not None:
             obs.audit.write(args.audit_out)
             print(f"[audit written to {args.audit_out}]")
+        if obs.timeline.enabled:
+            tl = obs.timeline
+            rows = tl.to_rows()
+            s = tl.summary()
+            print(f"timeline            : {int(s['windows'])} windows x "
+                  f"{s['window_ms']:g} ms, peak {s.get('peak_ops_per_sec', 0.0) / 1000:.1f} "
+                  f"kops/s, worst p99 {s.get('worst_p99_ms', 0.0):.2f} ms, "
+                  f"mean imbalance {s.get('mean_imbalance', 0.0):.3f}")
+            if args.timeline_out:
+                from repro.obs.export import write_timeline_jsonl
+
+                write_timeline_jsonl(args.timeline_out, tl.meta(), rows)
+                print(f"[timeline written to {args.timeline_out}]")
+            if slo_spec is not None:
+                from repro.obs.slo import SloError, evaluate_slo
+
+                try:
+                    report = evaluate_slo(rows, slo_spec, faults=faults)
+                except SloError as exc:
+                    print(f"repro simulate: {exc}", file=sys.stderr)
+                    return 2
+                print()
+                print(report.render())
+                slo_breached = not report.ok
     if args.json_out:
         with open(args.json_out, "w") as f:
             json.dump(r.to_dict(), f, indent=2)
             f.write("\n")
         print(f"[json written to {args.json_out}]")
-    return 0
+    return 1 if slo_breached else 0
 
 
 def _cmd_report(args) -> int:
@@ -388,7 +495,105 @@ def _cmd_report(args) -> int:
         print(f"repro report: {exc}", file=sys.stderr)
         return 2
     print(render_trace_report(spans, source=args.trace))
+    if args.timeline_path:
+        from repro.obs.export import load_timeline
+
+        try:
+            meta, rows = load_timeline(args.timeline_path)
+        except (OSError, ValueError) as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(_render_timeline_throughput(meta, rows))
     return 0
+
+
+def _render_timeline_throughput(meta, rows) -> str:
+    """Throughput-over-time section for ``repro report --timeline``.
+
+    Steady state excludes the first 30% of windows (warm-up / initial
+    rebalancing) and the trailing partial window — the same convention as
+    ``SimResult.steady_state_throughput``.
+    """
+    if not rows:
+        return "timeline: (no windows)"
+    lines = [f"timeline: {len(rows)} windows x {meta.get('window_ms', 0):g} ms "
+             f"({meta.get('n_mds', '?')} MDS)"]
+    full = rows[:-1] if len(rows) > 2 else rows
+    skip = min(int(len(full) * 0.3), max(len(full) - 1, 0))
+    tail = full[skip:] or rows
+    span_s = sum(r["end_ms"] - r["start_ms"] for r in tail) / 1000.0
+    ops = sum(r["ops"] for r in tail)
+    events = sum(r["engine_events"] for r in tail)
+    if span_s > 0:
+        lines.append(
+            f"  steady-state (last {len(tail)}/{len(rows)} windows): "
+            f"{ops / span_s / 1000:.1f} kops/s, "
+            f"{events / span_s / 1000:.1f} kevents/virtual s"
+        )
+    per_sec = [r["ops_per_sec"] for r in rows]
+    lines.append(
+        f"  per-window ops/s: min {min(per_sec):.0f}  "
+        f"mean {sum(per_sec) / len(per_sec):.0f}  max {max(per_sec):.0f}"
+    )
+    peak = max(per_sec) or 1.0
+    bar_w = 56
+    step = max(len(rows) // bar_w, 1)
+    cells = []
+    for i in range(0, len(rows), step):
+        chunk = per_sec[i : i + step]
+        v = max(chunk)
+        cells.append(" .:-=+*#%@"[min(int(v / peak * 9 + 0.999), 9)] if v > 0 else " ")
+    lines.append(f"  throughput  |{''.join(cells)}|  (peak {peak:.0f} ops/s)")
+    return "\n".join(lines)
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.export import load_timeline
+
+    try:
+        meta, rows = load_timeline(args.timeline)
+    except (OSError, ValueError) as exc:
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_command == "timeline":
+        from repro.obs.export import render_timeline_table
+
+        print(f"timeline: {args.timeline} — {len(rows)} windows x "
+              f"{meta.get('window_ms', 0):g} ms, {meta.get('n_mds', '?')} MDS")
+        print(render_timeline_table(rows, limit=args.limit))
+        return 0
+    if args.obs_command == "heatmap":
+        from repro.obs.export import render_heatmap
+
+        print(render_heatmap(rows, metric=args.metric, width=args.width))
+        return 0
+    if args.obs_command == "slo":
+        from repro.obs.slo import SloError, SloSpec, evaluate_slo
+
+        faults = None
+        if args.faults_path:
+            from repro.fs.faults import FaultSchedule
+
+            try:
+                faults = FaultSchedule.load(args.faults_path)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"repro obs slo: bad fault schedule: {exc}", file=sys.stderr)
+                return 2
+        try:
+            spec = SloSpec.load(args.spec)
+            report = evaluate_slo(rows, spec, faults=faults)
+        except (OSError, SloError) as exc:
+            print(f"repro obs slo: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        if args.json_out:
+            with open(args.json_out, "w") as f:
+                json.dump(report.to_dict(), f, indent=2)
+                f.write("\n")
+            print(f"[json written to {args.json_out}]")
+        return 0 if report.ok else 1
+    raise AssertionError("unreachable")
 
 
 def _cmd_recover(args) -> int:
@@ -588,6 +793,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "recover":
         return _cmd_recover(args)
     if args.command == "plan":

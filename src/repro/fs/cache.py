@@ -71,6 +71,10 @@ class NearRootCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def counters(self) -> tuple:
+        """Cumulative ``(hits, misses)`` — the timeline's delta source."""
+        return (self.hits, self.misses)
+
     def stats_dict(self) -> Dict[str, float]:
         """Counters for the metrics registry / run snapshot."""
         return {
@@ -145,6 +149,10 @@ class LeaseCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def counters(self) -> tuple:
+        """Cumulative ``(hits, misses)`` — the timeline's delta source."""
+        return (self.hits, self.misses)
 
     def stats_dict(self) -> Dict[str, float]:
         """Counters for the metrics registry / run snapshot (incl. leases)."""

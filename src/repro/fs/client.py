@@ -328,6 +328,7 @@ class ClientWorker:
         tracing = tracer.enabled
         m_ops = fs.m_ops
         m_latency = fs.m_latency
+        timeline = fs.obs.timeline if fs.obs.timeline.enabled else None
         while True:
             i = fs.next_op_index()
             if i is None:
@@ -351,5 +352,7 @@ class ClientWorker:
             fs.latency.record(latency)
             m_ops.inc()
             m_latency.observe(latency)
+            if timeline is not None:
+                timeline.record_op(latency)
             if fs.datapath is not None and fs.trace.op[i] in fs.DATA_OPS:
                 yield from fs.datapath.transfer(fs, int(fs.trace.dir_ino[i]))

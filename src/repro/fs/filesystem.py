@@ -15,6 +15,7 @@ compression is documented in DESIGN.md).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -171,6 +172,7 @@ class OrigamiFS:
                     s.store.flush()
                     s.store.sync()
                     s.take_durability_cost()
+                    s.durability_ms_total = 0.0
         if self.config.cache_mode == "lease":
             self.cache = LeaseCache(
                 tree,
@@ -217,6 +219,13 @@ class OrigamiFS:
             FaultInjector(self, self.config.faults)  # sets self.faults
         if restore_from is not None:
             restore_from.apply_fault_rng(self)
+
+        # bind the timeline last: the clock has already warped (restores) and
+        # the setup-population WAL activity is behind the snapshot baseline,
+        # so window deltas cover exactly the run itself
+        if self.obs.timeline.enabled:
+            self.obs.timeline.bind(self)
+            self.env.timeline = self.obs.timeline
 
     # -------------------------------------------------------------- plumbing
     def _populate_stores(self) -> None:
@@ -273,7 +282,9 @@ class OrigamiFS:
                 self.faults.cancel()
 
         self.env.process(terminator())
+        wall_t0 = time.perf_counter()
         self.env.run()
+        wall_s = time.perf_counter() - wall_t0
         # duration = when the last operation completed (the driver's cancelled
         # epoch timeout may have dragged env.now further; ignore it)
         duration = self.last_completion_ms
@@ -321,6 +332,10 @@ class OrigamiFS:
             engine_events=self.env.events_processed,
             kvstore=kv_stats,
             faults=self.faults.summary() if self.faults is not None else None,
+            wall_s=wall_s,
+            timeline=(
+                self.obs.timeline.summary() if self.obs.timeline.enabled else None
+            ),
         )
 
 

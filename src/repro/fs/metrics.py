@@ -116,6 +116,12 @@ class SimResult:
     kvstore: Optional[Dict[str, float]] = None
     #: flat FaultInjector.summary() counters (None when no faults installed)
     faults: Optional[Dict[str, float]] = None
+    #: wall-clock seconds the DES event loop ran (simulator speed, not a
+    #: model output; volatile — excluded from determinism comparisons)
+    wall_s: float = 0.0
+    #: TimelineCollector.summary() when simulate ran with a timeline (None
+    #: otherwise); deterministic scalars only
+    timeline: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict:
         """Full JSON-ready serialisation, including the per-epoch arrays."""
@@ -140,8 +146,12 @@ class SimResult:
             "cache_hit_rate": self.cache_hit_rate,
             "data_ops_completed": self.data_ops_completed,
             "engine_events": self.engine_events,
+            "engine_events_per_virtual_sec": self.engine_events_per_virtual_sec,
+            # wall_s / engine_events_per_wall_sec are deliberately absent:
+            # to_dict() must be bit-identical across machines and runs
             "kvstore": self.kvstore,
             "faults": self.faults,
+            "timeline": self.timeline,
             "per_epoch": [e.to_dict() for e in self.per_epoch],
         }
 
@@ -161,6 +171,20 @@ class SimResult:
     @property
     def rpcs_per_request(self) -> float:
         return self.total_rpcs / self.ops_completed if self.ops_completed else 0.0
+
+    @property
+    def engine_events_per_virtual_sec(self) -> float:
+        """DES events per *virtual* second — deterministic engine-load signal."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.engine_events / (self.duration_ms / 1000.0)
+
+    @property
+    def engine_events_per_wall_sec(self) -> float:
+        """DES events per *wall-clock* second — simulator speed (volatile)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.engine_events / self.wall_s
 
     def steady_state_throughput(self, skip_fraction: float = 0.3) -> float:
         """Aggregated metadata throughput *post-rebalancing* (ops / virtual s).

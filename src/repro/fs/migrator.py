@@ -55,6 +55,7 @@ class Migrator:
             rec = self.log.apply(fs.pmap, d, epoch=epoch)
             self._m_migrations.inc()
             self._m_inodes.inc(rec.inodes_moved)
+            fs.obs.timeline.record_migration(d.src, d.dst, rec.inodes_moved)
             cost = rec.inodes_moved * self.cost_per_inode_ms
             if cost > 0:
                 # source packs, destination ingests — both are busy.  A dead

@@ -76,6 +76,9 @@ class MdsServer:
         # run-scoped totals
         self.total_busy_ms = 0.0
         self.total_rpcs = 0
+        self.total_requests = 0
+        #: cumulative modeled durable-write cost (never reset by drains)
+        self.durability_ms_total = 0.0
         # live metrics children (no-op singletons when the registry is off)
         reg = registry if registry is not None else NULL_REGISTRY
         label = str(mds_id)
@@ -148,6 +151,7 @@ class MdsServer:
 
     def count_request(self) -> None:
         self.epoch_qps += 1
+        self.total_requests += 1
         self._m_requests.inc()
 
     def service(self, duration_ms: float, span=None) -> Generator:
@@ -215,6 +219,7 @@ class MdsServer:
         cost = self.durability.append_cost_ms(delta_bytes)
         cost += self.durability.sync_cost_ms(stats.fsyncs - fsyncs_before)
         self._pending_durability_ms += cost
+        self.durability_ms_total += cost
         if span is not None:
             span.wal_appends += 1
             span.wal_bytes += delta_bytes

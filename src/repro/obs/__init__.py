@@ -18,6 +18,15 @@ perturbing the simulation:
 * :mod:`repro.obs.profiling` — wall-clock phase profiling for the harness.
 * :mod:`repro.obs.report` — latency-decomposition analysis of a trace file
   (the ``repro report`` command).
+* :mod:`repro.obs.timeseries` — the windowed :class:`TimelineCollector`:
+  per-MDS and cluster series on fixed virtual-time windows (``simulate
+  --timeline``), exact by construction (window deltas telescope to the
+  end-of-run counters).
+* :mod:`repro.obs.slo` — declarative SLO specs evaluated over timeline
+  windows into compliance verdicts, error-budget burn rates, and
+  fault-schedule annotations.
+* :mod:`repro.obs.export` — timeline JSONL, Prometheus text exposition,
+  and the ASCII table/heatmap renders behind ``repro obs``.
 
 Everything here is passive: no RNG draws, no event scheduling.  A run with
 observability enabled is bit-identical (headline metrics) to one without —
@@ -34,6 +43,8 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_REGISTRY,
 )
+from repro.obs.slo import SloError, SloObjective, SloReport, SloSpec, evaluate_slo
+from repro.obs.timeseries import NULL_TIMELINE, TimelineCollector
 from repro.obs.tracing import NULL_TRACER, JsonlTracer, Span, Tracer
 
 __all__ = [
@@ -46,9 +57,16 @@ __all__ = [
     "MetricsRegistry",
     "NULL_OBS",
     "NULL_REGISTRY",
+    "NULL_TIMELINE",
     "NULL_TRACER",
     "Observability",
     "PhaseProfiler",
+    "SloError",
+    "SloObjective",
+    "SloReport",
+    "SloSpec",
     "Span",
+    "TimelineCollector",
     "Tracer",
+    "evaluate_slo",
 ]

@@ -1,0 +1,229 @@
+"""Timeline and metrics exporters: JSONL, Prometheus text, ASCII renders.
+
+Three consumers, three formats:
+
+* :func:`write_timeline_jsonl` / :func:`load_timeline` — the durable
+  interchange format.  Line 1 is a header (``{"kind": "timeline", ...}``),
+  every following line is one window row exactly as
+  :meth:`TimelineCollector.to_rows` produced it.
+* :func:`prometheus_text` — a one-shot text-exposition snapshot of a
+  :class:`~repro.obs.registry.MetricsRegistry` dump, so external tooling
+  that already speaks Prometheus can scrape simulation output.
+* :func:`render_timeline_table` / :func:`render_heatmap` — human renders
+  for the ``repro obs`` CLI family; the heatmap shades per-MDS load over
+  time to make hotspots and migration hand-offs visible at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = [
+    "write_timeline_jsonl",
+    "load_timeline",
+    "prometheus_text",
+    "render_timeline_table",
+    "render_heatmap",
+    "HEATMAP_METRICS",
+]
+
+#: heatmap metric name -> per-MDS row key in a timeline row
+HEATMAP_METRICS = {
+    "ops": "mds_ops",
+    "busy": "mds_busy_ms",
+    "rpcs": "mds_rpcs",
+    "queue": "mds_queue_depth",
+    "wal": "mds_wal_appends",
+    "fsyncs": "mds_fsyncs",
+    "migrations": "mds_migrations_in",
+}
+
+#: ten shades, blank = zero load, '@' = window/cluster maximum
+_SHADES = " .:-=+*#%@"
+
+
+# --------------------------------------------------------------------- JSONL
+def write_timeline_jsonl(path: str, meta: Dict[str, Any], rows: Sequence[Dict[str, Any]]) -> None:
+    """Write header + one row per closed window; overwrites ``path``."""
+    with open(path, "w") as fh:
+        fh.write(json.dumps(meta, sort_keys=True) + "\n")
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def load_timeline(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a timeline JSONL file back into ``(meta, rows)``.
+
+    Validates the header so ``repro obs`` commands fail with a clear
+    message when handed a span trace or arbitrary JSONL by mistake.
+    """
+    with open(path) as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError(f"{path}: empty file, not a timeline")
+        try:
+            meta = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: header is not JSON: {exc}") from exc
+        if not isinstance(meta, dict) or meta.get("kind") != "timeline":
+            raise ValueError(
+                f"{path}: not a timeline file (header lacks kind=timeline; "
+                f"was it produced by simulate --timeline?)"
+            )
+        rows = [json.loads(line) for line in fh if line.strip()]
+    return meta, rows
+
+
+# ---------------------------------------------------------------- Prometheus
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_name(name: str) -> str:
+    """Registry names are dotted (``fs.ops_total``); Prometheus wants ``_``."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_prom_escape(str(v))}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` as Prometheus text exposition.
+
+    Each family becomes a ``# HELP`` / ``# TYPE`` block; labelled series
+    carry their label sets through.  Histogram children expand into the
+    classic ``_bucket``/``_sum``/``_count`` triple with cumulative ``le``
+    labels, plus ``quantile`` samples for the serialized p50/p95/p99.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        fam = snapshot[name]
+        pname = _prom_name(name)
+        if fam.get("help"):
+            lines.append(f"# HELP {pname} {_prom_escape(fam['help'])}")
+        kind = fam.get("type", "gauge")
+        lines.append(
+            f"# TYPE {pname} {'histogram' if kind == 'histogram' else ('counter' if kind == 'counter' else 'gauge')}"
+        )
+        for series in fam.get("series", ()):
+            labels = series.get("labels", {})
+            value = series.get("value")
+            if isinstance(value, dict) and "buckets" in value:
+                for bound, cum in value["buckets"]:
+                    le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                    le_label = f'le="{le}"'
+                    lines.append(f"{pname}_bucket{_prom_labels(labels, le_label)} {cum}")
+                lines.append(f"{pname}_sum{_prom_labels(labels)} {value['sum']:g}")
+                lines.append(f"{pname}_count{_prom_labels(labels)} {value['count']}")
+                for q in ("p50", "p95", "p99"):
+                    if q in value:
+                        ql = f'quantile="0.{q[1:]}"'
+                        lines.append(
+                            f"{pname}{_prom_labels(labels, ql)} {value[q]:g}"
+                        )
+            else:
+                lines.append(f"{pname}{_prom_labels(labels)} {float(value):g}")
+    return "\n".join(lines) + "\n"
+
+
+# -------------------------------------------------------------- ASCII render
+def render_timeline_table(
+    rows: Sequence[Dict[str, Any]], limit: int = 0
+) -> str:
+    """Fixed-width per-window table for ``repro obs timeline``."""
+    if not rows:
+        return "(empty timeline)"
+    shown = list(rows)
+    skipped = 0
+    if limit and len(shown) > limit:
+        skipped = len(shown) - limit
+        shown = shown[-limit:]
+    header = (
+        f"{'win':>5} {'start_ms':>10} {'ops':>7} {'ops/s':>10} {'p50':>8} "
+        f"{'p95':>8} {'p99':>8} {'ev/s':>10} {'hit%':>6} {'mig':>4} {'imb':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    if skipped:
+        lines.append(f"  ... {skipped} earlier window(s) omitted ...")
+    for row in shown:
+        lines.append(
+            f"{row['w']:>5} {row['start_ms']:>10.1f} {row['ops']:>7} "
+            f"{row['ops_per_sec']:>10.0f} {row['p50_ms']:>8.2f} "
+            f"{row['p95_ms']:>8.2f} {row['p99_ms']:>8.2f} "
+            f"{row['events_per_sec']:>10.0f} {100 * row['cache_hit_rate']:>5.1f}% "
+            f"{row['migrations']:>4} {row['imbalance']:>6.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _downsample(series: List[float], width: int) -> List[float]:
+    """Max-pool a series down to ``width`` columns (peaks must survive)."""
+    n = len(series)
+    if n <= width:
+        return series
+    out = []
+    for c in range(width):
+        lo = c * n // width
+        hi = max((c + 1) * n // width, lo + 1)
+        out.append(max(series[lo:hi]))
+    return out
+
+
+def render_heatmap(
+    rows: Sequence[Dict[str, Any]],
+    metric: str = "ops",
+    width: int = 72,
+) -> str:
+    """ASCII per-MDS load heatmap: one row per MDS, one column per window.
+
+    Shading is normalised to the cluster-wide maximum cell so relative
+    hotspots read directly; wide timelines are max-pooled down to
+    ``width`` columns so peaks survive downsampling.
+    """
+    key = HEATMAP_METRICS.get(metric)
+    if key is None:
+        raise ValueError(
+            f"unknown heatmap metric {metric!r} "
+            f"(choose from {', '.join(sorted(HEATMAP_METRICS))})"
+        )
+    if not rows:
+        return "(empty timeline)"
+    if key not in rows[0]:
+        return f"(timeline rows lack per-MDS column {key!r})"
+    n_mds = len(rows[0][key])
+    per_mds: List[List[float]] = [
+        _downsample([float(row[key][m]) for row in rows], width)
+        for m in range(n_mds)
+    ]
+    peak = max((v for series in per_mds for v in series), default=0.0)
+    span_ms = rows[-1]["end_ms"] - rows[0]["start_ms"]
+    lines = [
+        f"per-MDS {metric} heatmap — {len(rows)} windows over {span_ms:.0f} ms "
+        f"(cell peak = {peak:g})"
+    ]
+    top = len(_SHADES) - 1
+    for m, series in enumerate(per_mds):
+        cells = []
+        for v in series:
+            if peak <= 0:
+                cells.append(_SHADES[0])
+            else:
+                cells.append(_SHADES[min(int(v / peak * top + 0.999), top)] if v > 0 else _SHADES[0])
+        lines.append(f"mds{m:<3} |{''.join(cells)}|")
+    axis_width = max(len(per_mds[0]) if per_mds else 0, 16)
+    left = f"{rows[0]['start_ms']:.0f}"
+    right = f"{rows[-1]['end_ms']:.0f} ms"
+    lines.append(" " * 7 + left + right.rjust(axis_width - len(left) + 1))
+    lines.append(f"shade   '{_SHADES}'  (blank = idle, '@' = peak)")
+    return "\n".join(lines)

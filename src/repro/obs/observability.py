@@ -11,6 +11,7 @@ from typing import Any, Dict, Optional
 
 from repro.obs.audit import BalancerAudit
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.timeseries import NULL_TIMELINE, TimelineCollector
 from repro.obs.tracing import NULL_TRACER, JsonlTracer, Tracer
 
 __all__ = ["Observability", "NULL_OBS"]
@@ -35,9 +36,13 @@ class Observability:
         trace_path: Optional[str] = None,
         trace: bool = False,
         trace_max_spans: Optional[int] = None,
+        trace_sample: int = 1,
         audit: bool = False,
+        timeline: bool = False,
+        timeline_window_ms: float = 50.0,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        timeline_collector: Optional[TimelineCollector] = None,
     ):
         if registry is not None:
             self.registry = registry
@@ -46,14 +51,27 @@ class Observability:
         if tracer is not None:
             self.tracer = tracer
         elif trace or trace_path is not None:
-            self.tracer = JsonlTracer(trace_path, max_spans=trace_max_spans)
+            self.tracer = JsonlTracer(
+                trace_path, max_spans=trace_max_spans, sample=trace_sample
+            )
         else:
             self.tracer = NULL_TRACER
         self.audit: Optional[BalancerAudit] = BalancerAudit() if audit else None
+        if timeline_collector is not None:
+            self.timeline = timeline_collector
+        elif timeline:
+            self.timeline = TimelineCollector(window_ms=timeline_window_ms)
+        else:
+            self.timeline = NULL_TIMELINE
 
     @property
     def enabled(self) -> bool:
-        return self.registry.enabled or self.tracer.enabled or self.audit is not None
+        return (
+            self.registry.enabled
+            or self.tracer.enabled
+            or self.audit is not None
+            or self.timeline.enabled
+        )
 
     def close(self) -> None:
         self.tracer.close()
@@ -68,6 +86,9 @@ class Observability:
         stats, cache hits, LSM amplification) is published here so the hot
         paths pay nothing for it.
         """
+        # close the trailing timeline window before anything reads it
+        self.timeline.finalize(fs.env.now)
+
         reg = self.registry
         if not reg.enabled:
             return
@@ -142,6 +163,8 @@ class Observability:
                 "spans_dropped": self.tracer.dropped,
                 "path": getattr(self.tracer, "path", None),
             }
+        if self.timeline.enabled:
+            snap["timeline"] = self.timeline.summary()
         return snap
 
 

@@ -98,13 +98,48 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0-100) from bucket counts.
+
+        Classic Prometheus-style estimate: find the bucket holding the
+        target rank and interpolate linearly inside it.  Exactness is
+        bounded by bucket granularity; the reservoir-sampled
+        ``LatencyRecorder`` stays the headline source of truth.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets + [float("inf")], self.bucket_counts):
+            prev = running
+            running += n
+            if running >= rank and n > 0:
+                if bound == float("inf"):
+                    # open-ended top bucket: the bound cannot be interpolated;
+                    # fall back to the highest finite bound we crossed
+                    return lower if lower > 0.0 else self.mean
+                frac = (rank - prev) / n
+                return lower + (bound - lower) * frac
+            lower = bound if bound != float("inf") else lower
+        return lower
+
     def get(self) -> Dict[str, Any]:
         cumulative = []
         running = 0
         for bound, n in zip(self.buckets + [float("inf")], self.bucket_counts):
             running += n
             cumulative.append([bound, running])
-        return {"count": self.count, "sum": self.sum, "buckets": cumulative}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+            "buckets": cumulative,
+        }
 
 
 class _Family:

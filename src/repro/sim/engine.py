@@ -205,6 +205,9 @@ class Environment:
         self._seq = 0
         self._event_count = 0
         self._peak_queue = 0
+        #: optional TimelineCollector; window roll-over piggybacks on clock
+        #: advance so telemetry never schedules events of its own (parity)
+        self.timeline: Optional[Any] = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -266,6 +269,9 @@ class Environment:
         """Process exactly one event. Raises IndexError if the calendar is empty."""
         t, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = t
+        tl = self.timeline
+        if tl is not None and t >= tl.window_end_ms:
+            tl.advance(t)
         self._event_count += 1
         callbacks = event.callbacks
         event.callbacks = None

@@ -114,3 +114,61 @@ def test_missing_variants_reported_not_gated():
     assert result.ok  # nothing comparable regressed
     rendered = result.render()
     assert "missing from the candidate" in rendered
+
+
+def test_engine_metric_directions():
+    # fewer engine events for the same simulated work = cheaper simulation
+    assert not is_higher_better("engine_events")
+    assert not is_higher_better("engine_events_per_virtual_sec")
+    # ...but wall-clock event rate is simulator speed: more is better
+    assert is_higher_better("engine_events_per_wall_sec")
+    assert is_higher_better("timeline.peak_ops_per_sec")
+
+
+def _perf(rate, wall=1.0):
+    return {
+        "main": {
+            "wall_s": {"mean": wall, "n": 2.0},
+            "engine_events_per_wall_sec": {"mean": rate, "n": 2.0},
+        }
+    }
+
+
+def test_perf_section_gated_in_default_profile_only():
+    base = make_artifact()
+    base["perf"] = _perf(100_000.0)
+    cand = make_artifact()
+    cand["perf"] = _perf(60_000.0)  # simulator got 40% slower
+
+    default = compare_artifacts(base, cand)  # default profile gates at 30%
+    bad = default.regressions
+    assert [r.metric for r in bad] == ["engine_events_per_wall_sec"]
+    assert bad[0].regression_frac == pytest.approx(0.40)
+
+    smoke = compare_artifacts(base, cand, thresholds=SMOKE_THRESHOLDS)
+    assert smoke.ok  # wall rate is informational in the smoke profile
+    wall_rows = [r for r in smoke.rows if r.metric == "engine_events_per_wall_sec"]
+    assert wall_rows and wall_rows[0].threshold is None
+
+
+def test_perf_section_missing_from_one_artifact_is_ignored():
+    base = make_artifact()
+    base["perf"] = _perf(100_000.0)
+    cand = make_artifact()  # e.g. produced before the perf section existed
+    result = compare_artifacts(base, cand)
+    assert result.ok
+    assert not any(r.metric == "engine_events_per_wall_sec" for r in result.rows)
+
+
+def test_virtual_event_rate_gates_in_both_profiles():
+    base = make_artifact()
+    cand = make_artifact()
+    for art, rate in ((base, 100_000.0), (cand, 120_000.0)):  # +20% more events
+        art["aggregates"]["main"]["engine_events_per_virtual_sec"] = {
+            "mean": rate, "n": 2.0,
+        }
+    for thresholds in (DEFAULT_THRESHOLDS, SMOKE_THRESHOLDS):
+        result = compare_artifacts(base, cand, thresholds=thresholds)
+        assert [r.metric for r in result.regressions] == [
+            "engine_events_per_virtual_sec"
+        ]

@@ -113,3 +113,22 @@ def test_deadline_is_typed_not_a_hang(monkeypatch):
         run_scenario(TINY, workers=2, seeds=[1], deadline_s=0.0)
     # the module-level worker fn is untouched for later tests
     assert runner_mod._run_cell is real_run_cell
+
+
+def test_perf_section_is_volatile_and_well_formed(serial_artifact):
+    art = serial_artifact
+    # rows carry no wall-clock residue: wall_s was popped into "perf"
+    assert all("wall_s" not in r for r in art["runs"])
+    assert "perf" not in strip_volatile(art)
+    for variant in ("chash", "lunule"):
+        per = art["perf"][variant]
+        assert per["wall_s"]["n"] == 2.0
+        assert per["wall_s"]["mean"] > 0.0
+        assert per["engine_events_per_wall_sec"]["mean"] > 0.0
+    # timeline roll-ups and engine counts made it into the deterministic core
+    for run in art["runs"]:
+        m = run["metrics"]
+        assert m["engine_events"] > 0
+        assert m["engine_events_per_virtual_sec"] > 0
+        assert m["timeline.windows"] >= 1.0
+        assert m["timeline.peak_ops_per_sec"] > 0.0

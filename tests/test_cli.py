@@ -194,3 +194,117 @@ def test_run_profile_flag(capsys):
     out = capsys.readouterr().out
     assert "[profile] wall-clock phases" in out
     assert "simulate:" in out
+
+
+def test_simulate_timeline_slo_and_sampled_trace(tmp_path, capsys):
+    timeline = str(tmp_path / "tl.jsonl")
+    trace = str(tmp_path / "spans.jsonl")
+    spec = tmp_path / "slo.json"
+    spec.write_text(json.dumps({
+        "name": "loose",
+        "objectives": [
+            {"name": "p99", "metric": "p99_ms", "target_ms": 1e9},
+            {"name": "hits", "metric": "cache_hit_rate", "target": 0.0,
+             "error_budget": 0.99},
+        ],
+    }))
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "5000", "--mds", "3",
+        "--clients", "20", "--timeline", timeline, "--slo", str(spec),
+        "--trace", trace, "--trace-sample", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "engine throughput" in out
+    assert "timeline" in out
+    assert "overall: OK" in out
+    assert "1-in-5 sampled" in out
+
+    lines = open(timeline).read().splitlines()
+    meta = json.loads(lines[0])
+    assert meta["kind"] == "timeline" and meta["n_windows"] == len(lines) - 1
+    rows = [json.loads(l) for l in lines[1:]]
+    assert sum(r["ops"] for r in rows) == 5000
+    spans = open(trace).read().splitlines()
+    assert len(spans) == (5000 + 4) // 5
+
+    # breach path: impossible latency target must exit 1
+    spec.write_text(json.dumps({
+        "objectives": [{"name": "p99", "metric": "p99_ms", "target_ms": 0.0,
+                        "error_budget": 0.01}],
+    }))
+    capsys.readouterr()
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "5000", "--mds", "3",
+        "--clients", "20", "--slo", str(spec),
+    ]) == 1
+    assert "SLO BREACHED" in capsys.readouterr().out
+
+
+def test_simulate_rejects_bad_trace_sample_and_slo(tmp_path, capsys):
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "1000", "--trace-sample", "0",
+    ]) == 2
+    assert "--trace-sample" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{]")
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "1000", "--slo", str(bad),
+    ]) == 2
+    assert "invalid JSON" in capsys.readouterr().err
+
+
+def _make_timeline(tmp_path, capsys, ops=5000):
+    timeline = str(tmp_path / "tl.jsonl")
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", str(ops), "--mds", "3",
+        "--clients", "20", "--timeline", timeline,
+    ]) == 0
+    capsys.readouterr()
+    return timeline
+
+
+def test_obs_timeline_and_heatmap_commands(tmp_path, capsys):
+    timeline = _make_timeline(tmp_path, capsys)
+    assert main(["obs", "timeline", timeline, "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "ops/s" in out and "p99" in out
+
+    for metric in ("ops", "busy", "queue"):
+        assert main(["obs", "heatmap", timeline, "--metric", metric]) == 0
+        out = capsys.readouterr().out
+        assert "mds0" in out and "mds2" in out
+
+    assert main(["obs", "timeline", str(tmp_path / "missing.jsonl")]) == 2
+    assert "repro obs" in capsys.readouterr().err
+
+
+def test_obs_slo_command_gates(tmp_path, capsys):
+    timeline = _make_timeline(tmp_path, capsys)
+    spec = tmp_path / "slo.json"
+    spec.write_text(json.dumps({
+        "objectives": [{"name": "p99", "metric": "p99_ms", "target_ms": 1e9}],
+    }))
+    report = str(tmp_path / "report.json")
+    assert main(["obs", "slo", timeline, str(spec), "--json", report]) == 0
+    assert "overall: OK" in capsys.readouterr().out
+    assert json.load(open(report))["ok"] is True
+
+    spec.write_text(json.dumps({
+        "objectives": [{"name": "p99", "metric": "p99_ms", "target_ms": 0.0}],
+    }))
+    assert main(["obs", "slo", timeline, str(spec)]) == 1
+    assert "SLO BREACHED" in capsys.readouterr().out
+
+
+def test_report_timeline_section(tmp_path, capsys):
+    trace = str(tmp_path / "spans.jsonl")
+    timeline = str(tmp_path / "tl.jsonl")
+    assert main([
+        "simulate", "Lunule", "rw", "--ops", "5000", "--mds", "3",
+        "--clients", "20", "--trace", trace, "--timeline", timeline,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["report", trace, "--timeline", timeline]) == 0
+    out = capsys.readouterr().out
+    assert "steady-state" in out
+    assert "kevents/virtual s" in out

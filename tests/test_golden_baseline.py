@@ -20,7 +20,17 @@ import pytest
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 #: keys newer than the captured fixtures, allowed to appear in fresh runs
-KEYS_ADDED_SINCE_CAPTURE = {"vanished_ops", "fault_failed_ops", "faults"}
+KEYS_ADDED_SINCE_CAPTURE = {
+    "vanished_ops",
+    "fault_failed_ops",
+    "faults",
+    # telemetry-pipeline PR: engine-throughput rates, wall timing, and the
+    # (None-when-disabled) timeline summary
+    "engine_events_per_virtual_sec",
+    "engine_events_per_wall_sec",
+    "wall_s",
+    "timeline",
+}
 
 #: (workload kind, seed) — mirrors capture.py's MATRIX
 MATRIX = [(kind, seed) for kind in ("rw", "wi") for seed in (0, 1, 2)]

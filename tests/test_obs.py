@@ -266,3 +266,138 @@ def test_phase_profiler_accumulates():
     assert calls == 2
     assert secs >= 0.0
     assert "work" in p.render()
+
+
+# ------------------------------------------------------------------- export
+def _window_row(w, start_ms=0.0, window_ms=10.0, n_mds=2, ops=10):
+    return {
+        "w": w,
+        "start_ms": start_ms,
+        "end_ms": start_ms + window_ms,
+        "ops": ops,
+        "ops_per_sec": ops / (window_ms / 1e3),
+        "p50_ms": 1.0,
+        "p95_ms": 2.0,
+        "p99_ms": 3.0,
+        "mean_ms": 1.2,
+        "events_per_sec": 4000.0,
+        "cache_hit_rate": 0.5,
+        "migrations": 0,
+        "imbalance": 0.1,
+        "mds_ops": [ops - 2, 2][:n_mds] if n_mds == 2 else [ops],
+        "mds_busy_ms": [1.0] * n_mds,
+    }
+
+
+def test_timeline_jsonl_roundtrip(tmp_path):
+    from repro.obs.export import load_timeline, write_timeline_jsonl
+
+    path = str(tmp_path / "tl.jsonl")
+    meta = {"kind": "timeline", "window_ms": 10.0, "n_mds": 2}
+    rows = [_window_row(0), _window_row(1, start_ms=10.0)]
+    write_timeline_jsonl(path, meta, rows)
+    got_meta, got_rows = load_timeline(path)
+    assert got_meta == meta
+    assert got_rows == rows
+
+
+def test_load_timeline_rejects_non_timeline_inputs(tmp_path):
+    from repro.obs.export import load_timeline
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty file"):
+        load_timeline(str(empty))
+
+    garbage = tmp_path / "garbage.jsonl"
+    garbage.write_text("not json at all\n")
+    with pytest.raises(ValueError, match="header is not JSON"):
+        load_timeline(str(garbage))
+
+    spans = tmp_path / "spans.jsonl"
+    spans.write_text('{"kind": "trace", "schema": 3}\n')
+    with pytest.raises(ValueError, match="not a timeline file"):
+        load_timeline(str(spans))
+
+
+def test_prometheus_text_renders_all_family_kinds():
+    from repro.obs.export import prometheus_text
+
+    reg = MetricsRegistry()
+    reg.counter("fs.ops_total", "total ops").labels(mds="0").inc(7)
+    reg.gauge("fs.queue_depth", "queued").set(3)
+    reg.histogram("fs.latency_ms", "latency", buckets=(1.0, 10.0)).observe(0.5)
+    text = prometheus_text(reg.snapshot())
+
+    assert "# HELP repro_fs_ops_total total ops" in text
+    assert "# TYPE repro_fs_ops_total counter" in text
+    assert 'repro_fs_ops_total{mds="0"} 7' in text
+    assert "# TYPE repro_fs_queue_depth gauge" in text
+    assert "repro_fs_queue_depth 3" in text
+    assert "# TYPE repro_fs_latency_ms histogram" in text
+    assert 'repro_fs_latency_ms_bucket{le="1"} 1' in text
+    assert 'repro_fs_latency_ms_bucket{le="+Inf"} 1' in text
+    assert "repro_fs_latency_ms_sum 0.5" in text
+    assert "repro_fs_latency_ms_count 1" in text
+    assert 'repro_fs_latency_ms{quantile="0.50"}' in text
+    assert text.endswith("\n")
+
+
+def test_prom_name_sanitization():
+    from repro.obs.export import _prom_name
+
+    assert _prom_name("fs.ops_total") == "repro_fs_ops_total"
+    assert _prom_name("weird-name.v2") == "repro_weird_name_v2"
+    assert _prom_name("9lives") == "repro__9lives"
+
+
+def test_render_timeline_table_limit_and_empty():
+    from repro.obs.export import render_timeline_table
+
+    assert render_timeline_table([]) == "(empty timeline)"
+    rows = [_window_row(w, start_ms=10.0 * w) for w in range(5)]
+    full = render_timeline_table(rows)
+    assert "win" in full and "omitted" not in full
+    limited = render_timeline_table(rows, limit=2)
+    assert "... 3 earlier window(s) omitted ..." in limited
+    # only the last two data rows survive
+    assert f"{3:>5}" in limited and f"{0:>5} {0.0:>10.1f}" not in limited
+
+
+def test_render_heatmap_paths():
+    from repro.obs.export import render_heatmap
+
+    with pytest.raises(ValueError, match="unknown heatmap metric"):
+        render_heatmap([], metric="nope")
+    assert render_heatmap([], metric="ops") == "(empty timeline)"
+
+    rows = [_window_row(w, start_ms=10.0 * w) for w in range(3)]
+    out = render_heatmap(rows, metric="ops")
+    assert "per-MDS ops heatmap" in out
+    assert "mds0" in out and "mds1" in out
+    assert "@" in out  # the peak cell renders at full shade
+
+    # rows carry no per-MDS rpc column -> graceful message, not a crash
+    assert "lack per-MDS column" in render_heatmap(rows, metric="rpcs")
+
+
+def test_histogram_percentile_and_serialized_quantiles():
+    h = Histogram(buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 50.0):
+        h.observe(v)
+    assert h.percentile(0.0) == 0.0 or h.percentile(0.0) >= 0.0
+    with pytest.raises(ValueError):
+        h.percentile(101.0)
+    snap = h.get()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(105.5)
+    assert set(snap) >= {"p50", "p95", "p99", "buckets"}
+    # p99 rank lands in the (10, 100] bucket; interpolation stays inside it
+    assert 10.0 <= snap["p99"] <= 100.0
+    assert snap["p50"] <= snap["p95"] <= snap["p99"]
+    assert Histogram().percentile(50.0) == 0.0
+
+
+def test_jsonl_tracer_rejects_bad_sample(tmp_path):
+    with pytest.raises(ValueError, match="sample must be >= 1"):
+        JsonlTracer(str(tmp_path / "t.jsonl"), sample=0)

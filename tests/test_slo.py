@@ -1,0 +1,187 @@
+"""Unit tests for the declarative SLO evaluator (spec parsing, burn rates,
+fault annotation) against synthesized timeline rows."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import SloError, SloObjective, SloSpec, evaluate_slo
+
+
+def _rows(p95_values, window_ms=10.0, ops=100):
+    """Synth timeline rows: one per value, all with the same op count."""
+    return [
+        {
+            "w": i,
+            "start_ms": i * window_ms,
+            "end_ms": (i + 1) * window_ms,
+            "ops": ops,
+            "p95_ms": float(v),
+            "cache_hit_rate": 0.9,
+        }
+        for i, v in enumerate(p95_values)
+    ]
+
+
+def _spec(**kw):
+    d = {"name": "o", "metric": "p95_ms", "target": 5.0, "error_budget": 0.25}
+    d.update(kw)
+    return SloSpec.from_dict({"name": "t", "objectives": [d]})
+
+
+# ------------------------------------------------------------------ parsing
+def test_objective_accepts_target_ms_alias():
+    o = SloObjective.from_dict({"name": "p", "metric": "p95_ms", "target_ms": 7.5})
+    assert o.target == 7.5
+
+
+def test_objective_rejects_unknown_keys_and_metrics():
+    with pytest.raises(SloError, match="unknown keys"):
+        SloObjective.from_dict(
+            {"name": "p", "metric": "p95_ms", "target": 1.0, "tresh": 2}
+        )
+    with pytest.raises(SloError, match="unknown metric"):
+        SloObjective.from_dict({"name": "p", "metric": "cpu_temp", "target": 1.0})
+    with pytest.raises(SloError, match="needs 'target'"):
+        SloObjective.from_dict({"name": "p", "metric": "p95_ms"})
+
+
+def test_objective_validates_budget_and_burn_params():
+    base = {"name": "p", "metric": "p95_ms", "target": 1.0}
+    with pytest.raises(SloError, match="error_budget"):
+        SloObjective.from_dict({**base, "error_budget": 0.0})
+    with pytest.raises(SloError, match="error_budget"):
+        SloObjective.from_dict({**base, "error_budget": 1.5})
+    with pytest.raises(SloError, match="burn_window"):
+        SloObjective.from_dict({**base, "burn_window": 0})
+    with pytest.raises(SloError, match="burn_alert"):
+        SloObjective.from_dict({**base, "burn_alert": 0.0})
+
+
+def test_spec_rejects_duplicates_and_empty():
+    with pytest.raises(SloError, match="duplicate"):
+        SloSpec.from_dict(
+            {
+                "objectives": [
+                    {"name": "a", "metric": "p95_ms", "target": 1.0},
+                    {"name": "a", "metric": "p99_ms", "target": 1.0},
+                ]
+            }
+        )
+    with pytest.raises(SloError, match="non-empty"):
+        SloSpec.from_dict({"objectives": []})
+    with pytest.raises(SloError, match="JSON object"):
+        SloSpec.from_dict([1, 2])
+
+
+def test_spec_load_roundtrip_and_bad_json(tmp_path):
+    spec = _spec()
+    path = tmp_path / "slo.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    assert SloSpec.load(str(path)) == spec
+    path.write_text("{nope")
+    with pytest.raises(SloError, match="invalid JSON"):
+        SloSpec.load(str(path))
+
+
+def test_breach_direction_per_metric_kind():
+    lat = SloObjective(name="l", metric="p95_ms", target=5.0)
+    assert lat.breaches(5.1) and not lat.breaches(5.0)
+    hit = SloObjective(name="h", metric="cache_hit_rate", target=0.5)
+    assert hit.breaches(0.4) and not hit.breaches(0.5)
+
+
+# --------------------------------------------------------------- evaluation
+def test_evaluate_counts_breaches_and_budget():
+    rows = _rows([1.0, 9.0, 1.0, 9.0])  # 2/4 breach, budget 0.25 -> consumed 2x
+    report = evaluate_slo(rows, _spec())
+    (res,) = report.results
+    assert res.breaching == [1, 3]
+    assert res.breach_fraction == 0.5
+    assert res.budget_consumed == pytest.approx(2.0)
+    assert not res.ok and not report.ok
+    assert res.worst_value == 9.0
+
+
+def test_lower_is_worse_worst_value_is_min():
+    rows = _rows([1.0, 1.0])
+    rows[0]["cache_hit_rate"] = 0.2
+    spec = SloSpec.from_dict(
+        {
+            "objectives": [
+                {"name": "h", "metric": "cache_hit_rate", "target": 0.5,
+                 "error_budget": 0.6}
+            ]
+        }
+    )
+    (res,) = evaluate_slo(rows, spec).results
+    assert res.breaching == [0]
+    assert res.worst_value == 0.2
+    assert res.ok  # 1/2 breach within the 0.6 budget
+
+
+def test_zero_op_windows_are_not_measurements():
+    rows = _rows([9.0, 9.0, 1.0])
+    rows[0]["ops"] = 0  # idle window with a garbage metric value
+    (res,) = evaluate_slo(rows, _spec()).results
+    assert res.windows == 2
+    assert res.breaching == [1]  # original indices, idle window skipped
+
+
+def test_missing_metric_raises():
+    rows = [{"w": 0, "start_ms": 0.0, "end_ms": 1.0, "ops": 5}]
+    with pytest.raises(SloError, match="lack metric"):
+        evaluate_slo(rows, _spec())
+
+
+def test_empty_timeline_is_vacuously_ok():
+    report = evaluate_slo([], _spec())
+    assert report.ok
+    assert report.results[0].windows == 0
+    assert report.results[0].breach_fraction == 0.0
+
+
+def test_burn_alert_runs_are_merged_with_original_indices():
+    # budget 0.25, burn_window 2, alert at 2.0x: indices 2..5 breach, so a
+    # sustained span burns at 4x; every rolling window *touching* the run
+    # alerts, so the merged span covers windows 1..6
+    values = [1.0, 1.0, 9.0, 9.0, 9.0, 9.0, 1.0, 1.0]
+    spec = _spec(burn_window=2, burn_alert=2.0)
+    (res,) = evaluate_slo(_rows(values), spec).results
+    assert len(res.alerts) == 1
+    alert = res.alerts[0]
+    assert alert.start_window == 1
+    assert alert.end_window == 6
+    assert alert.burn_rate == pytest.approx(4.0)
+
+
+def test_no_alert_below_threshold():
+    values = [9.0 if i % 8 == 0 else 1.0 for i in range(32)]  # 12.5% breach
+    spec = _spec(error_budget=0.25, burn_window=8, burn_alert=3.0)
+    (res,) = evaluate_slo(_rows(values), spec).results
+    assert res.alerts == []
+    assert res.ok
+
+
+def test_fault_annotations_split_explained_from_unexplained():
+    rows = _rows([9.0, 1.0, 9.0])
+    faults = SimpleNamespace(
+        events=[SimpleNamespace(start_ms=0.0, end_ms=10.0, kind="crash")]
+    )
+    (res,) = evaluate_slo(rows, _spec(), faults=faults).results
+    assert res.breaching == [0, 2]
+    assert res.fault_annotations == {0: ["crash"]}
+    assert res.unexplained_breaches == 1
+    d = res.to_dict()
+    assert d["fault_annotations"] == {"0": ["crash"]}
+
+
+def test_report_render_and_dict_shape():
+    rows = _rows([1.0, 9.0])
+    report = evaluate_slo(rows, _spec(error_budget=0.6))
+    text = report.render()
+    assert "OK" in text and "p95_ms" in text
+    d = report.to_dict()
+    assert d["ok"] is True
+    assert d["objectives"][0]["breaching_windows"] == [1]
