@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Profile the DES hot path and print a sorted cost table.
+
+The hot-path optimization PR was profile-driven: every change started from
+this table (which functions own the wall time of a default-tier run) and
+ended with the golden-equivalence suite proving the output bits unchanged.
+This script keeps that loop reproducible:
+
+    PYTHONPATH=src python scripts/profile_hotpath.py
+    PYTHONPATH=src python scripts/profile_hotpath.py --kind wi --scale smoke
+    PYTHONPATH=src python scripts/profile_hotpath.py --sort cumtime --top 40
+    PYTHONPATH=src python scripts/profile_hotpath.py --repeat 3   # throughput too
+
+``--repeat N`` additionally reports the un-profiled engine throughput
+(``engine_events_per_wall_sec``, best of N) — the headline number the
+``scale_large_hotpath``/default-tier acceptance gates track — since cProfile
+instrumentation itself roughly halves it.
+
+The same table is available on any simulation via ``repro simulate
+--profile``; this helper just fixes the configuration to the one the
+optimization work measured (Lunule on Trace-RW, default tier, seed 42).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def build(kind: str, scale, seed: int):
+    from repro.harness.experiments import build_workload
+
+    return build_workload(kind, scale.n_ops, seed, tree_scale=scale.tree_scale)
+
+
+def run(kind: str, scale, seed: int):
+    from repro.harness.experiments import run_strategy
+
+    return run_strategy("Lunule", kind, scale, seed=seed)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--kind", default="rw", choices=("rw", "ro", "wi", "mdtest"))
+    ap.add_argument("--scale", default="default",
+                    choices=("smoke", "default", "full", "large"))
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--sort", default="tottime",
+                    choices=("tottime", "cumtime", "ncalls"))
+    ap.add_argument("--top", type=int, default=30,
+                    help="rows of the cost table to print (default 30)")
+    ap.add_argument("--repeat", type=int, default=0, metavar="N",
+                    help="also run N un-profiled passes and report the best "
+                         "engine_events_per_wall_sec (0 = skip)")
+    args = ap.parse_args(argv)
+
+    from repro.harness.config import get_scale
+
+    scale = get_scale(args.scale)
+    print(f"profiling Lunule on Trace-{args.kind.upper()}, scale={scale.name} "
+          f"({scale.n_ops:,} ops, {scale.n_clients:,} clients, "
+          f"tree_scale={scale.tree_scale:g}), seed={args.seed}")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run(args.kind, scale, args.seed)
+    profiler.disable()
+
+    print(f"run: {result.ops_completed:,} ops, {result.engine_events:,} engine "
+          f"events in {result.wall_s:.2f} wall s "
+          f"({result.engine_events_per_wall_sec:,.0f} ev/s under the profiler)")
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+    if args.repeat > 0:
+        best = 0.0
+        for i in range(args.repeat):
+            r = run(args.kind, scale, args.seed)
+            rate = r.engine_events_per_wall_sec
+            best = max(best, rate)
+            print(f"un-profiled pass {i + 1}/{args.repeat}: {rate:,.0f} ev/s")
+        print(f"best engine_events_per_wall_sec: {best:,.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -223,6 +223,24 @@ register_scenario(
 
 register_scenario(
     BenchScenario(
+        name="scale_large_hotpath",
+        description=(
+            "million-entity hot path: ~1.01M inodes (cloud tree x256), 64 MDSs, "
+            "100k closed-loop clients on write-intensive Trace-WI"
+        ),
+        kind="wi",
+        variants=(
+            BenchVariant("lunule-64mds", strategy="Lunule", n_mds=64),
+            BenchVariant("chash-64mds", strategy="C-Hash", n_mds=64),
+        ),
+        seeds=(42,),
+        scale="large",
+        tags=("perf", "hotpath", "large"),
+    )
+)
+
+register_scenario(
+    BenchScenario(
         name="crash_failover_rw",
         description="Lunule on Trace-RW through an MDS crash+restart plus a slowdown window",
         kind="rw",

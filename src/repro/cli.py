@@ -77,7 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="regenerate one figure/table")
     run.add_argument("experiment", choices=_EXPERIMENTS)
-    run.add_argument("--scale", default=None, choices=("smoke", "default", "full"))
+    run.add_argument("--scale", default=None, choices=("smoke", "default", "full", "large"))
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--json", dest="json_out", default=None, help="write report JSON here")
     run.add_argument(
@@ -105,8 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
     si.add_argument("--clients", type=int, default=300)
     si.add_argument("--seed", type=int, default=42)
     si.add_argument("--cache-depth", type=int, default=2)
+    si.add_argument("--scale", default=None, choices=("smoke", "default", "full", "large"),
+                    help="scale profile (default: $REPRO_SCALE or 'default'); "
+                         "sets epoch length and the namespace-size multiplier")
     si.add_argument("--epoch-ms", type=float, default=None,
                     help="rebalance epoch length (default: the scale profile's)")
+    si.add_argument("--profile", action="store_true",
+                    help="run the DES under cProfile and print the top of the "
+                         "sorted cost table after the results")
     si.add_argument("--kvstore", action="store_true",
                     help="store inodes in per-MDS LSM stores (surfaces StoreStats)")
     si.add_argument("--data-dir", dest="data_dir", default=None, metavar="DIR",
@@ -198,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="scenario to run (repeatable; default: all registered)")
     br.add_argument("--workers", type=int, default=1,
                     help="process-pool size (1 = inline; output is identical either way)")
-    br.add_argument("--scale", default=None, choices=("smoke", "default", "full"),
+    br.add_argument("--scale", default=None, choices=("smoke", "default", "full", "large"),
                     help="scale tier override (default: each scenario's own tier)")
     br.add_argument("--seeds", default=None, metavar="S1,S2,...",
                     help="comma-separated seed-list override")
@@ -320,8 +326,10 @@ def _cmd_simulate(args) -> int:
     from repro.fs.filesystem import OrigamiFS
     from repro.obs import Observability
 
-    scale = get_scale()
-    built, trace = build_workload(args.kind, args.ops, args.seed)
+    scale = get_scale(args.scale)
+    built, trace = build_workload(
+        args.kind, args.ops, args.seed, tree_scale=scale.tree_scale
+    )
     policy, default_mds = make_policy(args.strategy, args.kind, scale)
     faults = None
     if args.faults_path:
@@ -388,7 +396,18 @@ def _cmd_simulate(args) -> int:
     except CheckpointError as exc:
         print(f"repro simulate: cannot resume: {exc}", file=sys.stderr)
         return 1
-    r = fs.run()
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        r = fs.run()
+        profiler.disable()
+    else:
+        profiler = None
+        r = fs.run()
     imb = r.imbalance()
     slo_breached = False
     print(f"strategy            : {r.strategy} on Trace-{args.kind.upper()} ({r.n_mds} MDS)")
@@ -483,6 +502,13 @@ def _cmd_simulate(args) -> int:
             json.dump(r.to_dict(), f, indent=2)
             f.write("\n")
         print(f"[json written to {args.json_out}]")
+    if profiler is not None:
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("tottime").print_stats(25)
+        print()
+        print("hot-path profile (sorted by total own time, top 25):")
+        print(buf.getvalue())
     return 1 if slo_breached else 0
 
 

@@ -60,7 +60,13 @@ class PartitionMap:
         mask = tree.dir_mask()
         self._owner[mask] = initial_owner
         self.version = 0
+        #: bumped only when *directory ownership* may have changed — unlike
+        #: ``version``, which also ticks on pure file-fill syncs.  Consumers
+        #: caching per-directory routing decisions (the client plan cache)
+        #: key on this so file-heavy replay does not thrash them.
+        self.dir_version = 0
         self._tree_version = tree.version
+        self._view: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------ sync/grow
     def _sync(self) -> None:
@@ -85,11 +91,13 @@ class PartitionMap:
             phys = np.full(max(cap, self._owner.shape[0] * 2), -1, dtype=np.int16)
             phys[: self._owner.shape[0]] = self._owner
             self._owner = phys
+        filled_dir = False
         if self._filled < cap:
             # fill new inos in ino order (parents always precede children)
             for ino in range(self._filled, cap):
                 if not tree._alive[ino] or tree._ftype[ino] != 0:
                     continue
+                filled_dir = True
                 if self.placement is not None:
                     self._owner[ino] = self.placement(self, tree._parent[ino], tree._name[ino])
                 else:
@@ -113,6 +121,8 @@ class PartitionMap:
                     view[ino] = po if po >= 0 else 0
         self._tree_version = tree.version
         self.version += 1
+        if version_changed or filled_dir:
+            self.dir_version += 1
         self._syncing = False
 
     # -------------------------------------------------------------- queries
@@ -128,7 +138,14 @@ class PartitionMap:
     def owner_array(self) -> np.ndarray:
         """Dense owner view indexed by ino (-1 for non-dirs). Do not mutate."""
         self._sync()
-        return self._owner[: self.tree.capacity]
+        # slicing allocates a fresh view object every call (hot: once per op);
+        # reuse it until capacity changes — in-place owner edits alias through
+        view = self._view
+        cap = len(self.tree._parent)
+        if view is not None and view.shape[0] == cap:
+            return view
+        self._view = view = self._owner[:cap]
+        return view
 
     def new_dir_owner(self, parent_ino: int, name: str) -> int:
         """Where a directory created as ``parent/name`` would land."""
@@ -197,6 +214,7 @@ class PartitionMap:
         dirs = idx.dirs_in_subtree(root_ino)
         self._owner[dirs] = dst
         self.version += 1
+        self.dir_version += 1
         return int(dirs.shape[0])
 
     def assign_dir(self, dir_ino: int, mds: int) -> None:
@@ -207,6 +225,7 @@ class PartitionMap:
         self.tree._check_dir(dir_ino)
         self._owner[dir_ino] = mds
         self.version += 1
+        self.dir_version += 1
 
     def assign_bulk(self, owners: np.ndarray) -> None:
         """Overwrite ownership for all live dirs from an ino-indexed array."""
@@ -220,6 +239,7 @@ class PartitionMap:
             raise ValueError("owner out of range in bulk assignment")
         self._owner[: self.tree.capacity][mask] = owners[mask].astype(np.int16)
         self.version += 1
+        self.dir_version += 1
 
     # ------------------------------------------------------------- summaries
     def dirs_per_mds(self) -> np.ndarray:
@@ -303,7 +323,9 @@ class PartitionMap:
         dup._owner = self._owner.copy()
         dup._filled = self._filled
         dup.version = self.version
+        dup.dir_version = self.dir_version
         dup._tree_version = self._tree_version
+        dup._view = None
         return dup
 
 

@@ -28,6 +28,7 @@ __all__ = [
     "CATEGORY_LSDIR",
     "CATEGORY_NSMUT",
     "CATEGORY_ARRAY",
+    "CATEGORY_TUPLE",
     "IS_WRITE_ARRAY",
 ]
 
@@ -68,7 +69,11 @@ CATEGORY_ARRAY = np.array([_CATEGORY[OpType(v)] for v in range(len(OpType))], dt
 #: vectorised "is a metadata write" lookup (Table-1 feature accounting)
 IS_WRITE_ARRAY = CATEGORY_ARRAY == CATEGORY_NSMUT
 
+#: scalar-lookup twin of CATEGORY_ARRAY — tuple indexing is ~6x faster than
+#: a numpy scalar fetch on the per-op DES hot path
+CATEGORY_TUPLE = tuple(int(c) for c in CATEGORY_ARRAY)
+
 
 def category_of(op: "OpType | int") -> int:
     """Cost category (Eq. 2) for an operation."""
-    return int(CATEGORY_ARRAY[int(op)])
+    return CATEGORY_TUPLE[op] if type(op) is int else CATEGORY_TUPLE[int(op)]

@@ -64,17 +64,19 @@ class CostParams:
                 raise ValueError(f"{name} must be non-negative")
         if self.cache_depth < 0:
             raise ValueError("cache_depth must be non-negative")
+        # per-op exec-time table (not a dataclass field: invisible to
+        # ==/hash/repr); hot callers index it directly instead of paying a
+        # category dispatch per call
+        from repro.costmodel.optypes import CATEGORY_TUPLE
+
+        by_cat = (self.t_exec_read, self.t_exec_lsdir, self.t_exec_nsmut)
+        object.__setattr__(
+            self, "t_exec_table", tuple(by_cat[c] for c in CATEGORY_TUPLE)
+        )
 
     def t_exec(self, op: "OpType | int") -> float:
         """Fixed execution time for an operation."""
-        from repro.costmodel.optypes import CATEGORY_LSDIR, CATEGORY_NSMUT, category_of
-
-        cat = category_of(op)
-        if cat == CATEGORY_LSDIR:
-            return self.t_exec_lsdir
-        if cat == CATEGORY_NSMUT:
-            return self.t_exec_nsmut
-        return self.t_exec_read
+        return self.t_exec_table[int(op)]
 
     def t_exec_by_category(self) -> np.ndarray:
         """Vector of exec times indexed by category (read, lsdir, nsmut)."""

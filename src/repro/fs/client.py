@@ -36,12 +36,22 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.costmodel.optypes import (
     CATEGORY_LSDIR,
     CATEGORY_NSMUT,
+    CATEGORY_TUPLE,
     OpType,
     category_of,
 )
+from repro.fs.cache import NearRootCache
 from repro.fs.faults.errors import FaultError
+from repro.sim.engine import Timeout
 
 __all__ = ["ClientWorker"]
+
+# plain-int op tags: IntEnum→int conversion is measurable per-op
+_MKDIR = int(OpType.MKDIR)
+_RMDIR = int(OpType.RMDIR)
+_RENAME = int(OpType.RENAME)
+_CREATE = int(OpType.CREATE)
+_UNLINK = int(OpType.UNLINK)
 
 
 class ClientWorker:
@@ -59,32 +69,61 @@ class ClientWorker:
         Returns ``(visits, primary)`` where visits is an ordered list of
         ``(mds, n_inode_reads)`` — one entry per contacted MDS in path order
         — covering the uncached path components plus the target entry.
+
+        Plans against a steady-state near-root cache are pure functions of
+        ``(dir_ino, lsdir?)`` — coverage is structural (depth threshold),
+        ``grant()`` is a no-op, and ownership/structure churn is captured by
+        ``(pmap.dir_version, tree.version)`` — so they are memoised on the
+        fs, with the hit/miss deltas replayed on each reuse to keep every
+        counter bit-identical to the unmemoised walk.  Lease caches (grants
+        and TTLs are stateful) and crash-voided windows (coverage is
+        time-dependent) always take the slow path.
         """
         fs = self.fs
         tree = fs.tree
-        owner_arr = fs.pmap.owner_array()
         cache = fs.cache
+        now = fs.env._now
+
+        cacheable = cache.__class__ is NearRootCache and now >= cache.invalid_until
+        if cacheable:
+            key = (dir_ino, CATEGORY_TUPLE[op] == CATEGORY_LSDIR)
+            stamp = (fs.pmap.dir_version, tree.version)
+            plan_cache = fs._plan_cache
+            if stamp == fs._plan_cache_stamp:
+                entry = plan_cache.get(key)
+                if entry is not None:
+                    visits, primary, n_hits, n_misses = entry
+                    cache.hits += n_hits
+                    cache.misses += n_misses
+                    if span is not None:
+                        span.cache_hits += n_hits
+                        span.cache_misses += n_misses
+                    return visits, primary
+            else:
+                plan_cache.clear()
+                fs._plan_cache_stamp = stamp
+
+        owner_arr = fs.pmap.owner_array()
         primary = int(owner_arr[dir_ino])
 
         # non-root chain dirs, root-first
-        now = fs.env.now
         chain = tree.resolve(dir_ino)[1:]
         reads: Dict[int, int] = {}
         order: List[int] = []
+        n_hits = 0
+        n_misses = 0
         for d in chain:
             if cache.covers(d, now):
-                if span is not None:
-                    span.cache_hits += 1
+                n_hits += 1
                 continue
-            if span is not None:
-                span.cache_misses += 1
+            n_misses += 1
             cache.grant(d, now)  # fetched below; lease caches remember it
             o = int(owner_arr[d])
             if o not in reads:
                 reads[o] = 0
                 order.append(o)
             reads[o] += 1
-        if category_of(op) != CATEGORY_LSDIR:
+        if CATEGORY_TUPLE[op] != CATEGORY_LSDIR:
             # the target entry itself (depth = dir depth + 1)
             if not fs.cache_covers_depth(tree.depth(dir_ino) + 1):
                 if primary not in reads:
@@ -94,43 +133,15 @@ class ClientWorker:
         if primary not in reads:
             reads[primary] = 0
             order.append(primary)
-        return [(o, reads[o]) for o in order], primary
+        if span is not None:
+            span.cache_hits += n_hits
+            span.cache_misses += n_misses
+        visits = [(o, reads[o]) for o in order]
+        if cacheable:
+            fs._plan_cache[key] = (visits, primary, n_hits, n_misses)
+        return visits, primary
 
     # ------------------------------------------------------------ execution
-    def execute_op(self, i: int, span=None) -> Generator:
-        """Execute trace operation ``i``; returns the observed latency (ms).
-
-        Every issued op is accounted exactly once: it completes
-        (``fs.ops_completed``), vanishes under a concurrent mutation
-        (``fs.vanished_ops``), or fails typed after exhausting its fault
-        retries (``fs.fault_failed_ops``) — the zero-lost-ops invariant the
-        property suite asserts.
-        """
-        fs = self.fs
-        env = fs.env
-        trace = fs.trace
-        op = int(trace.op[i])
-        dir_ino = int(trace.dir_ino[i])
-        aux = int(trace.aux[i])
-        name = trace.names[i] if trace.names is not None else ""
-        if not self._mark_vanished_if_dead(dir_ino, span):
-            return 0.0
-        cat = category_of(op)
-        start = env.now
-
-        if fs.faults is None:
-            completed = True
-            yield from self._attempt(op, dir_ino, aux, name, cat, span)
-        else:
-            completed = yield from self._attempt_with_retries(
-                op, dir_ino, aux, name, cat, span
-            )
-        if completed:
-            self.ops_done += 1
-            fs.ops_completed += 1
-        fs.last_completion_ms = env.now
-        return env.now - start
-
     def _mark_vanished_if_dead(self, dir_ino: int, span) -> bool:
         """False when the target directory died under a concurrent mutation;
         the op is counted as a cheap failed lookup."""
@@ -200,28 +211,33 @@ class ClientWorker:
         inj = fs.faults
 
         visits, primary = self._plan(op, dir_ino, span)
-        pserver = fs.servers[primary]
+        servers = fs.servers
+        pserver = servers[primary]
         pserver.count_request()
         if span is not None:
             span.primary = primary
 
+        t_inode = params.t_inode
+        t_rpc = params.t_rpc
+        t_exec = params.t_exec_table[op]
+        rtt_const = fs._rtt_const
         for mds, n_reads in visits:
-            server = fs.servers[mds]
+            server = servers[mds]
             if inj is not None:
                 yield from inj.rpc_gate(mds, span)
             server.count_rpc()
             fs.total_rpcs += 1
             # network round trip to this MDS
-            rtt = fs.network_rtt()
+            rtt = rtt_const if rtt_const is not None else fs.network_rtt()
             if span is not None:
                 span.net_ms += rtt
                 span.rpcs += 1
                 span.mds_visited.append(mds)
-            yield env.timeout(rtt)
+            yield Timeout(env, rtt)
             # +1 fake/anchor inode read, plus the RPC handling cost itself
-            service = params.t_inode * (n_reads + 1) + params.t_rpc
+            service = t_inode * (n_reads + 1) + t_rpc
             if mds == primary:
-                service += params.t_exec(op)
+                service += t_exec
             yield from server.service(service, span)
 
         # ---- op-specific extras ----
@@ -232,12 +248,12 @@ class ClientWorker:
                     yield from inj.rpc_gate(o, span)
                 fs.servers[o].count_rpc()
                 fs.total_rpcs += 1
-                rtt = fs.network_rtt()
+                rtt = rtt_const if rtt_const is not None else fs.network_rtt()
                 if span is not None:
                     span.net_ms += rtt
                     span.rpcs += 1
                     span.mds_visited.append(o)
-                yield env.timeout(rtt)
+                yield Timeout(env, rtt)
                 yield from fs.servers[o].service(params.t_rpc, span)
             fs.stats.record_lsdir(dir_ino)
         elif cat == CATEGORY_NSMUT:
@@ -274,16 +290,14 @@ class ClientWorker:
         fs = self.fs
         owner_arr = fs.pmap.owner_array()
         primary = int(owner_arr[dir_ino])
-        if op == int(OpType.MKDIR):
+        if op == _MKDIR:
             o = fs.pmap.new_dir_owner(dir_ino, name)
             return o if o != primary else None
-        if op in (int(OpType.RMDIR), int(OpType.RENAME)) and aux >= 0:
+        if (op == _RMDIR or op == _RENAME) and aux >= 0:
             if fs.tree.is_alive(aux) and owner_arr[aux] >= 0:
                 o = int(owner_arr[aux])
                 return o if o != primary else None
-        if op in (int(OpType.CREATE), int(OpType.UNLINK)) or (
-            op == int(OpType.RENAME) and aux < 0
-        ):
+        if op == _CREATE or op == _UNLINK or (op == _RENAME and aux < 0):
             o = fs.pmap.file_owner(dir_ino, name)
             return o if o != primary else None
         return None
@@ -293,14 +307,14 @@ class ClientWorker:
         fs = self.fs
         tree = fs.tree
         try:
-            if op == int(OpType.CREATE):
+            if op == _CREATE:
                 ino = tree.create_file(dir_ino, name)
                 if fs.use_kvstore:
                     fs.servers[fs.pmap.owner(dir_ino)].kv_put(
                         b"%020d/%s" % (dir_ino, name.encode()), b"inode", span
                     )
                 fs.created_files.append(ino)
-            elif op == int(OpType.UNLINK):
+            elif op == _UNLINK:
                 kids = tree.children(dir_ino)
                 ino = kids.get(name)
                 if ino is not None and not tree.is_dir(ino):
@@ -309,9 +323,9 @@ class ClientWorker:
                         fs.servers[fs.pmap.owner(dir_ino)].kv_delete(
                             b"%020d/%s" % (dir_ino, name.encode()), span
                         )
-            elif op == int(OpType.MKDIR):
+            elif op == _MKDIR:
                 tree.create_dir(dir_ino, name)
-            elif op == int(OpType.RMDIR):
+            elif op == _RMDIR:
                 if aux >= 0 and tree.is_alive(aux) and tree.is_dir(aux):
                     if not tree.children(aux):
                         tree.remove(aux)
@@ -322,37 +336,78 @@ class ClientWorker:
 
     # ----------------------------------------------------------------- loop
     def run(self) -> Generator:
-        """Closed-loop replay until the shared trace is exhausted."""
+        """Closed-loop replay until the shared trace is exhausted.
+
+        Per-op execution is inlined here (not a ``yield from`` into a
+        sub-generator): every engine resume walks the full delegation chain,
+        so one fewer frame saves a hop on every event of the run.
+
+        Every issued op is accounted exactly once: it completes
+        (``fs.ops_completed``), vanishes under a concurrent mutation
+        (``fs.vanished_ops``), or fails typed after exhausting its fault
+        retries (``fs.fault_failed_ops``) — the zero-lost-ops invariant the
+        property suite asserts.
+        """
         fs = self.fs
+        env = fs.env
         tracer = fs.obs.tracer
         tracing = tracer.enabled
         m_ops = fs.m_ops
         m_latency = fs.m_latency
         timeline = fs.obs.timeline if fs.obs.timeline.enabled else None
+        latency_record = fs.latency.record
+        next_op_index = fs.next_op_index
+        # pre-listified trace columns: plain-int reads, no numpy scalar boxing
+        ops = fs._ops
+        dir_inos = fs._dir_inos
+        auxs = fs._aux
+        names = fs._op_names
+        faulty = fs.faults is not None
+        datapath = fs.datapath
+        data_ops = fs.DATA_OPS
         while True:
-            i = fs.next_op_index()
+            i = next_op_index()
             if i is None:
                 return
+            op = ops[i]
+            dir_ino = dir_inos[i]
             if tracing:
                 span = tracer.start(
                     i,
-                    int(fs.trace.op[i]),
+                    op,
                     self.worker_id,
-                    int(fs.trace.dir_ino[i]),
-                    int(fs.tree.depth(int(fs.trace.dir_ino[i])))
-                    if fs.tree.is_alive(int(fs.trace.dir_ino[i]))
-                    else -1,
-                    fs.env.now,
+                    dir_ino,
+                    fs.tree.depth(dir_ino) if fs.tree.is_alive(dir_ino) else -1,
+                    env._now,
                 )
             else:
                 span = None
-            latency = yield from self.execute_op(i, span)
+            if not self._mark_vanished_if_dead(dir_ino, span):
+                latency = 0.0
+            else:
+                start = env._now
+                if faulty:
+                    completed = yield from self._attempt_with_retries(
+                        op, dir_ino, auxs[i], names[i] if names is not None else "",
+                        CATEGORY_TUPLE[op], span,
+                    )
+                else:
+                    completed = True
+                    yield from self._attempt(
+                        op, dir_ino, auxs[i], names[i] if names is not None else "",
+                        CATEGORY_TUPLE[op], span,
+                    )
+                if completed:
+                    self.ops_done += 1
+                    fs.ops_completed += 1
+                fs.last_completion_ms = now = env._now
+                latency = now - start
             if span is not None:
-                tracer.finish(span, fs.env.now)
-            fs.latency.record(latency)
+                tracer.finish(span, env._now)
+            latency_record(latency)
             m_ops.inc()
             m_latency.observe(latency)
             if timeline is not None:
                 timeline.record_op(latency)
-            if fs.datapath is not None and fs.trace.op[i] in fs.DATA_OPS:
-                yield from fs.datapath.transfer(fs, int(fs.trace.dir_ino[i]))
+            if datapath is not None and op in data_ops:
+                yield from datapath.transfer(fs, dir_ino)

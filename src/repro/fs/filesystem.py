@@ -192,6 +192,21 @@ class OrigamiFS:
             else None
         )
 
+        # ---- hot-path acceleration state (pure caches, never results) ----
+        #: trace columns as plain Python lists: per-op reads skip numpy
+        #: scalar boxing (one box + int() per field per op otherwise)
+        self._ops = trace.op.tolist()
+        self._dir_inos = trace.dir_ino.tolist()
+        self._aux = trace.aux.tolist()
+        self._op_names = trace.names
+        #: constant RTT when jitter is off (the default) — no RNG either way
+        self._rtt_const = self.params.rtt if self.config.rtt_jitter == 0 else None
+        #: memoised client plans, keyed (dir_ino, lsdir?); flushed whenever
+        #: the stamp (pmap.dir_version, tree.version) moves — see
+        #: ClientWorker._plan for the exact validity argument
+        self._plan_cache: Dict[tuple, tuple] = {}
+        self._plan_cache_stamp = (-1, -1)
+
         self.cursor = 0
         self.replay_done = len(trace) == 0
         self.ops_completed = 0

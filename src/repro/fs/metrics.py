@@ -56,15 +56,17 @@ class LatencyRecorder:
         self.count = 0
         self.total = 0.0
         self._rng = np.random.default_rng(seed)
+        self._randint = self._rng.integers  # bound-method hoist (hot path)
 
     def record(self, latency_ms: float) -> None:
-        if self.count < self._cap:
-            self._res[self.count] = latency_ms
+        count = self.count
+        if count < self._cap:
+            self._res[count] = latency_ms
         else:
-            j = int(self._rng.integers(0, self.count + 1))
+            j = int(self._randint(0, count + 1))
             if j < self._cap:
                 self._res[j] = latency_ms
-        self.count += 1
+        self.count = count + 1
         self.total += latency_ms
 
     @property

@@ -27,7 +27,7 @@ import numpy as np
 from repro.fs.faults.errors import MdsCrashedError, MdsUnavailableError
 from repro.kvstore import LSMStore
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Resource, Timeout
 
 __all__ = ["MdsServer"]
 
@@ -168,17 +168,20 @@ class MdsServer:
         lost hold time is charged to ``span.fault_wait_ms``, not busy time.
         """
         faults = self._faults
+        env = self.env
         if faults is not None:
             if not self.up:
                 raise MdsUnavailableError(self.mds_id)
             # degradation (slowdown window or restart warm-up) applies at the
             # moment the request enters service, as in the legacy injector
-            duration_ms *= faults.service_factor(self.mds_id, self.env.now)
-        with self.resource.request() as req:
+            duration_ms *= faults.service_factor(self.mds_id, env._now)
+        resource = self.resource
+        req = resource.request()
+        try:  # try/finally, not `with`: skips the __enter__/__exit__ calls
             if span is not None:
-                enqueued_at = self.env.now
+                enqueued_at = env._now
                 yield req
-                span.queue_ms += self.env.now - enqueued_at
+                span.queue_ms += env._now - enqueued_at
             else:
                 yield req
             if faults is not None:
@@ -186,7 +189,7 @@ class MdsServer:
                     raise MdsUnavailableError(self.mds_id)
                 incarnation = self.incarnation
             if duration_ms > 0:
-                yield self.env.timeout(duration_ms)
+                yield Timeout(env, duration_ms)
             if faults is not None and (not self.up or self.incarnation != incarnation):
                 # the work is lost: the client paid the hold but the server
                 # crashed under it — no busy time, a typed abort instead
@@ -199,6 +202,8 @@ class MdsServer:
             self.epoch_busy_ms += duration_ms
             self.total_busy_ms += duration_ms
             self._m_busy.inc(duration_ms)
+        finally:
+            resource.release(req)
 
     def drain_epoch(self) -> tuple:
         """Return and reset this epoch's (busy, rpcs, qps)."""

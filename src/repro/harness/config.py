@@ -30,12 +30,20 @@ class ExperimentScale:
     n_clients: int
     #: virtual epoch length (ms)
     epoch_ms: float
+    #: namespace-size multiplier applied by ``build_workload`` (1.0 keeps
+    #: every generator at its paper-default tree, bit-identical to before
+    #: the knob existed; the ``large`` tier uses it to reach ~1M inodes)
+    tree_scale: float = 1.0
 
 
 SCALES = {
     "smoke": ExperimentScale("smoke", 15_000, 12_000, 2_000, 30, 120, 60.0),
     "default": ExperimentScale("default", 60_000, 40_000, 4_000, 80, 300, 100.0),
     "full": ExperimentScale("full", 200_000, 80_000, 5_000, 400, 400, 100.0),
+    # the million-entity hot-path tier: ~1.01M live inodes on the cloud
+    # tree (50 tenants x 256), 100k closed-loop clients; paired with 64-MDS
+    # variants in the `scale_large_hotpath` bench scenario
+    "large": ExperimentScale("large", 200_000, 40_000, 4_000, 300, 100_000, 100.0, 256.0),
 }
 
 

@@ -78,12 +78,32 @@ _WORKLOADS = {
 }
 
 
-def build_workload(kind: str, n_ops: int, seed: int):
+#: per-family namespace-size knob scaled by ``ExperimentScale.tree_scale``
+#: (kwarg name, paper-default value) — see :func:`build_workload`
+_TREE_SIZE_KNOB = {
+    "rw": ("n_modules", 32),
+    "ro": ("n_dirs", 3000),
+    "wi": ("n_tenants", 50),
+    "mdtest": ("n_ranks", 32),
+}
+
+
+def build_workload(kind: str, n_ops: int, seed: int, tree_scale: float = 1.0):
     """Deterministically (re)build a workload; a fresh tree every call, since
-    DES runs mutate the namespace."""
+    DES runs mutate the namespace.
+
+    ``tree_scale`` multiplies each family's namespace-size knob (modules /
+    dirs / tenants / ranks).  At the default 1.0 the knob is **not passed**
+    at all, so every pre-existing tier replays the exact historical RNG
+    sequence; the ``large`` tier uses 256.0 to reach ~1M inodes on ``wi``.
+    """
     ssf = SeedSequenceFactory(seed)
+    kwargs = {}
+    if tree_scale != 1.0:
+        knob, base = _TREE_SIZE_KNOB[kind]
+        kwargs[knob] = max(1, int(round(base * tree_scale)))
     with PROFILER.phase("build_workload"):
-        return _WORKLOADS[kind](ssf.stream(f"workload-{kind}"), n_ops=n_ops)
+        return _WORKLOADS[kind](ssf.stream(f"workload-{kind}"), n_ops=n_ops, **kwargs)
 
 
 @functools.lru_cache(maxsize=16)
@@ -160,7 +180,9 @@ def run_strategy(
     This is the execution path shared by the paper figures and the
     ``repro.bench`` runner (via :func:`repro.bench.execute.run_variant`).
     """
-    built, trace = build_workload(kind, n_ops or scale.n_ops, seed)
+    built, trace = build_workload(
+        kind, n_ops or scale.n_ops, seed, tree_scale=scale.tree_scale
+    )
     policy, default_mds = make_policy(name, kind, scale)
     config = SimConfig(
         n_mds=n_mds if n_mds is not None else default_mds,

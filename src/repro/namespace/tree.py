@@ -31,6 +31,10 @@ __all__ = ["NamespaceTree", "DfsIndex", "ROOT_INO"]
 
 ROOT_INO = 0
 
+#: plain-int directory tag — the IntEnum→int conversion is measurable on the
+#: per-op accessor hot path (hundreds of thousands of calls per run)
+_DIR = int(FileType.DIRECTORY)
+
 
 class DfsIndex:
     """Preorder (Euler-interval) index over the live directories of a tree.
@@ -84,7 +88,7 @@ class NamespaceTree:
     def __init__(self) -> None:
         self._parent: List[int] = [ROOT_INO]
         self._name: List[str] = [""]
-        self._ftype: List[int] = [int(FileType.DIRECTORY)]
+        self._ftype: List[int] = [_DIR]
         self._depth: List[int] = [0]
         self._alive: List[bool] = [True]
         self._size: List[int] = [0]
@@ -117,28 +121,39 @@ class NamespaceTree:
         return self._num_files
 
     # -------------------------------------------------------------- accessors
+    # The liveness check is inlined in the hot accessors below (is_alive /
+    # is_dir / parent / depth / resolve each fire hundreds of thousands of
+    # times per run; a _check() call per access doubles their cost).
     def is_alive(self, ino: int) -> bool:
-        return 0 <= ino < len(self._alive) and self._alive[ino]
+        alive = self._alive
+        return 0 <= ino < len(alive) and alive[ino]
 
     def _check(self, ino: int) -> None:
-        if not self.is_alive(ino):
+        alive = self._alive
+        if not (0 <= ino < len(alive) and alive[ino]):
             raise KeyError(f"ino {ino} does not exist")
 
     def is_dir(self, ino: int) -> bool:
-        self._check(ino)
-        return self._ftype[ino] == int(FileType.DIRECTORY)
+        alive = self._alive
+        if 0 <= ino < len(alive) and alive[ino]:
+            return self._ftype[ino] == _DIR
+        raise KeyError(f"ino {ino} does not exist")
 
     def parent(self, ino: int) -> int:
-        self._check(ino)
-        return self._parent[ino]
+        alive = self._alive
+        if 0 <= ino < len(alive) and alive[ino]:
+            return self._parent[ino]
+        raise KeyError(f"ino {ino} does not exist")
 
     def name(self, ino: int) -> str:
         self._check(ino)
         return self._name[ino]
 
     def depth(self, ino: int) -> int:
-        self._check(ino)
-        return self._depth[ino]
+        alive = self._alive
+        if 0 <= ino < len(alive) and alive[ino]:
+            return self._depth[ino]
+        raise KeyError(f"ino {ino} does not exist")
 
     def n_child_files(self, ino: int) -> int:
         self._check_dir(ino)
@@ -166,7 +181,7 @@ class NamespaceTree:
 
     def _check_dir(self, ino: int) -> None:
         self._check(ino)
-        if self._ftype[ino] != int(FileType.DIRECTORY):
+        if self._ftype[ino] != _DIR:
             raise NotADirectoryError(f"ino {ino} ({self.path_of(ino)}) is not a directory")
 
     # ------------------------------------------------------------- mutations
@@ -221,7 +236,7 @@ class NamespaceTree:
             if nxt is None:
                 cur = self.create_dir(cur, seg)
             else:
-                if self._ftype[nxt] != int(FileType.DIRECTORY):
+                if self._ftype[nxt] != _DIR:
                     raise NotADirectoryError(f"{seg} along {path} is a file")
                 cur = nxt
         return cur
@@ -231,7 +246,7 @@ class NamespaceTree:
         self._check(ino)
         if ino == ROOT_INO:
             raise ValueError("cannot remove the root")
-        if self._ftype[ino] == int(FileType.DIRECTORY):
+        if self._ftype[ino] == _DIR:
             kids = self._children[ino]
             assert kids is not None
             if kids:
@@ -241,7 +256,7 @@ class NamespaceTree:
         assert pk is not None
         del pk[self._name[ino]]
         self._alive[ino] = False
-        if self._ftype[ino] == int(FileType.DIRECTORY):
+        if self._ftype[ino] == _DIR:
             self._n_child_dirs[parent] -= 1
             self._num_dirs -= 1
             self._children[ino] = None
@@ -256,7 +271,7 @@ class NamespaceTree:
         self._check_dir(new_parent)
         if ino == ROOT_INO:
             raise ValueError("cannot rename the root")
-        if self._ftype[ino] == int(FileType.DIRECTORY):
+        if self._ftype[ino] == _DIR:
             # cycle check: walk new_parent's ancestors
             cur = new_parent
             while cur != ROOT_INO:
@@ -276,7 +291,7 @@ class NamespaceTree:
         dest_kids[new_name] = ino
         self._parent[ino] = new_parent
         self._name[ino] = new_name
-        if self._ftype[ino] == int(FileType.DIRECTORY):
+        if self._ftype[ino] == _DIR:
             self._n_child_dirs[old_parent] -= 1
             self._n_child_dirs[new_parent] += 1
             self._refresh_depths(ino)
@@ -304,7 +319,7 @@ class NamespaceTree:
         """Resolve ``path`` to an ino; KeyError if any component is missing."""
         cur = ROOT_INO
         for seg in components(path):
-            if self._ftype[cur] != int(FileType.DIRECTORY):
+            if self._ftype[cur] != _DIR:
                 raise NotADirectoryError(f"{seg} under a file in {path!r}")
             kids = self._children[cur]
             assert kids is not None
@@ -323,13 +338,14 @@ class NamespaceTree:
     def resolve(self, ino: int) -> List[int]:
         """Ancestor chain root → ``ino`` inclusive (the path-resolution walk)."""
         self._check(ino)
+        parent = self._parent
         chain: List[int] = []
+        append = chain.append
         cur = ino
-        while True:
-            chain.append(cur)
-            if cur == ROOT_INO:
-                break
-            cur = self._parent[cur]
+        while cur:
+            append(cur)
+            cur = parent[cur]
+        append(ROOT_INO)
         chain.reverse()
         return chain
 
@@ -357,7 +373,7 @@ class NamespaceTree:
     def iter_dirs(self) -> Iterator[int]:
         """All live directory inos (ascending ino order)."""
         for ino in range(len(self._parent)):
-            if self._alive[ino] and self._ftype[ino] == int(FileType.DIRECTORY):
+            if self._alive[ino] and self._ftype[ino] == _DIR:
                 yield ino
 
     def iter_subtree_dirs(self, root: int) -> Iterator[int]:
@@ -370,7 +386,7 @@ class NamespaceTree:
             kids = self._children[ino]
             assert kids is not None
             for child in kids.values():
-                if self._ftype[child] == int(FileType.DIRECTORY):
+                if self._ftype[child] == _DIR:
                     stack.append(child)
 
     # ------------------------------------------------------------ bulk views
@@ -402,7 +418,7 @@ class NamespaceTree:
             # deterministic order: sorted child names
             for name in sorted(kids, reverse=True):
                 child = kids[name]
-                if self._ftype[child] == int(FileType.DIRECTORY):
+                if self._ftype[child] == _DIR:
                     stack.append((child, False))
         assert pos == self._num_dirs
         return DfsIndex(order, tin, tout)
@@ -424,13 +440,13 @@ class NamespaceTree:
         """Boolean array indexed by ino: live directory?"""
         ft = np.asarray(self._ftype, dtype=np.int64)
         alive = np.asarray(self._alive, dtype=bool)
-        return alive & (ft == int(FileType.DIRECTORY))
+        return alive & (ft == _DIR)
 
     # ------------------------------------------------------------- utilities
     def owning_dir(self, ino: int) -> int:
         """The directory whose partition owns this entry: itself if a dir, else parent."""
         self._check(ino)
-        if self._ftype[ino] == int(FileType.DIRECTORY):
+        if self._ftype[ino] == _DIR:
             return ino
         return self._parent[ino]
 
@@ -441,12 +457,12 @@ class NamespaceTree:
         for ino in range(len(self._parent)):
             if not self._alive[ino]:
                 continue
-            if self._ftype[ino] == int(FileType.DIRECTORY):
+            if self._ftype[ino] == _DIR:
                 n_dirs += 1
                 kids = self._children[ino]
                 assert kids is not None, f"dir {ino} lost its child map"
                 nf = sum(
-                    1 for c in kids.values() if self._ftype[c] != int(FileType.DIRECTORY)
+                    1 for c in kids.values() if self._ftype[c] != _DIR
                 )
                 nd = len(kids) - nf
                 assert nf == self._n_child_files[ino], f"file count drift at {ino}"

@@ -1,11 +1,15 @@
 """Event loop and primitive events for the DES kernel.
 
 The design follows the classic event-calendar pattern: a binary heap of
-``(time, priority, sequence, event)`` tuples.  ``sequence`` is a monotonically
-increasing integer, so events scheduled at the same virtual time with the same
-priority always fire in the order they were scheduled.  Determinism of the
-whole simulation reduces to determinism of the model code plus seeded RNG
-streams (:mod:`repro.sim.rng`).
+``(time, key, event)`` tuples, where ``key`` packs the priority and a
+monotonically increasing sequence number into one integer
+(``priority << 62 | sequence``).  Because the sequence is unique, the packed
+key totally orders same-time entries exactly as the unpacked
+``(priority, sequence)`` pair would — events at the same virtual time with
+the same priority always fire in the order they were scheduled, and the
+event object itself is never compared.  Determinism of the whole simulation
+reduces to determinism of the model code plus seeded RNG streams
+(:mod:`repro.sim.rng`).
 
 Virtual time is a float; the reproduction uses **milliseconds** throughout
 (see ``repro.costmodel.params`` for the unit conventions).
@@ -13,7 +17,7 @@ Virtual time is a float; the reproduction uses **milliseconds** throughout
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = ["Environment", "Event", "Timeout", "Interrupt", "StopSimulation"]
@@ -22,6 +26,11 @@ __all__ = ["Environment", "Event", "Timeout", "Interrupt", "StopSimulation"]
 NORMAL = 1
 #: priority for "urgent" bookkeeping events (fire before normal ones at t)
 URGENT = 0
+
+#: pre-shifted heap-key bases; sequence numbers stay far below 2**62 (a run
+#: issuing a billion events per second would take a century to overflow)
+_NORMAL_KEY = NORMAL << 62
+_URGENT_KEY = URGENT << 62
 
 
 class Interrupt(Exception):
@@ -90,7 +99,12 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        queue = env._queue
+        heappush(queue, (env._now, _NORMAL_KEY | seq, self))
+        if len(queue) > env._peak_queue:
+            env._peak_queue = len(queue)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -102,7 +116,12 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        queue = env._queue
+        heappush(queue, (env._now, _NORMAL_KEY | seq, self))
+        if len(queue) > env._peak_queue:
+            env._peak_queue = len(queue)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -129,12 +148,20 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        # flat init (no super() chain): a Timeout is born triggered, and this
+        # constructor is the single hottest allocation site in the simulator
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        queue = env._queue
+        heappush(queue, (env._now + delay, _NORMAL_KEY | seq, self))
+        if len(queue) > env._peak_queue:
+            env._peak_queue = len(queue)
 
 
 class AllOf(Event):
@@ -250,10 +277,11 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
-        if len(self._queue) > self._peak_queue:
-            self._peak_queue = len(self._queue)
+        self._seq = seq = self._seq + 1
+        queue = self._queue
+        heappush(queue, (self._now + delay, (priority << 62) | seq, event))
+        if len(queue) > self._peak_queue:
+            self._peak_queue = len(queue)
 
     def _immediate(self, fn: Callable[[], None]) -> None:
         """Run ``fn`` as an urgent zero-delay event (keeps causality ordering)."""
@@ -267,7 +295,7 @@ class Environment:
     # -- main loop ----------------------------------------------------------
     def step(self) -> None:
         """Process exactly one event. Raises IndexError if the calendar is empty."""
-        t, _prio, _seq, event = heapq.heappop(self._queue)
+        t, _key, event = heappop(self._queue)
         self._now = t
         tl = self.timeline
         if tl is not None and t >= tl.window_end_ms:
@@ -312,13 +340,52 @@ class Environment:
             until = float(until)
             if until < self._now:
                 raise ValueError(f"until={until} lies in the past (now={self._now})")
+        # Inlined step(): one Python frame per event (not two) and local
+        # bindings for the queue and event counter.  ``count`` is flushed
+        # back before every timeline roll-over — window-close telemetry
+        # reads ``events_processed`` — and unconditionally on the way out.
+        queue = self._queue
+        pop = heappop
+        count = self._event_count
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
-                    self._now = until
-                    return
-                self.step()
+            if until is None:
+                while queue:
+                    t, _key, event = pop(queue)
+                    self._now = t
+                    tl = self.timeline
+                    if tl is not None and t >= tl.window_end_ms:
+                        self._event_count = count
+                        tl.advance(t)
+                    count += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for cb in callbacks:
+                        cb(event)
+                    if not event._ok and not callbacks:
+                        raise event._value
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        self._now = until
+                        return
+                    t, _key, event = pop(queue)
+                    self._now = t
+                    tl = self.timeline
+                    if tl is not None and t >= tl.window_end_ms:
+                        self._event_count = count
+                        tl.advance(t)
+                    count += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for cb in callbacks:
+                        cb(event)
+                    if not event._ok and not callbacks:
+                        raise event._value
         except StopSimulation:
             return
+        finally:
+            self._event_count = count
         if until is not None:
             self._now = until

@@ -19,7 +19,7 @@ __all__ = ["Process"]
 class Process(Event):
     """Drives a generator; fires (as an event) with the generator's return value."""
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "name", "_cb")
 
     def __init__(self, env: Environment, generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -28,6 +28,10 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # one bound method for the whole lifetime (a fresh one per yield is
+        # measurable on the hot path); interrupt()'s __self__ filter still
+        # matches it
+        self._cb = self._on_event
         # Bootstrap: resume once at the current time.
         env._immediate(self._bootstrap)
 
@@ -58,12 +62,12 @@ class Process(Event):
         if self._triggered:
             return
         gen = self._generator
+        send = gen.send
+        throw = gen.throw
+        cb = self._cb
         while True:
             try:
-                if ok:
-                    target = gen.send(value)
-                else:
-                    target = gen.throw(value)
+                target = send(value) if ok else throw(value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -79,20 +83,18 @@ class Process(Event):
                 self.fail(exc)
                 return
 
-            if not isinstance(target, Event):
+            # duck-typed event check: slot access doubles as the type guard
+            try:
+                if target._processed:
+                    # Already over: continue synchronously with its outcome.
+                    value, ok = target._value, target._ok
+                    continue
+            except AttributeError:
                 gen.throw(TypeError(f"process yielded non-event {target!r}"))
                 return
 
-            if target._processed:
-                # Already over: continue synchronously with its outcome.
-                if target._ok:
-                    value, ok = target._value, True
-                    continue
-                value, ok = target._value, False
-                continue
-
             self._waiting_on = target
-            target.callbacks.append(self._on_event)
+            target.callbacks.append(cb)
             return
 
     def _on_event(self, event: Event) -> None:

@@ -27,7 +27,13 @@ class _Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # flat init (no super() chain): one _Request per RPC service hold
+        self.env = resource.env
+        self.callbacks = []
+        self._value = Event._PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
         self.resource = resource
 
     def __enter__(self) -> "_Request":
@@ -66,20 +72,23 @@ class Resource:
 
     def request(self) -> _Request:
         req = _Request(self)
-        if len(self.users) < self.capacity:
-            self.users.add(req)
+        users = self.users
+        if len(users) < self.capacity:
+            users.add(req)
             self.total_grants += 1
             req.succeed()
         else:
-            self.waiters.append(req)
-            self._wait_started[req] = self.env.now
-            if len(self.waiters) > self.peak_queue_len:
-                self.peak_queue_len = len(self.waiters)
+            waiters = self.waiters
+            waiters.append(req)
+            self._wait_started[req] = self.env._now
+            if len(waiters) > self.peak_queue_len:
+                self.peak_queue_len = len(waiters)
         return req
 
     def release(self, req: _Request) -> None:
-        if req in self.users:
-            self.users.discard(req)
+        users = self.users
+        if req in users:
+            users.discard(req)
         elif req in self._wait_started:
             # Released while still queued (cancelled request).
             self.waiters.remove(req)
@@ -87,12 +96,13 @@ class Resource:
             return
         else:
             return
-        while self.waiters and len(self.users) < self.capacity:
-            nxt = self.waiters.popleft()
+        waiters = self.waiters
+        while waiters and len(users) < self.capacity:
+            nxt = waiters.popleft()
             started = self._wait_started.pop(nxt)
-            self.total_wait_time += self.env.now - started
+            self.total_wait_time += self.env._now - started
             self.total_grants += 1
-            self.users.add(nxt)
+            users.add(nxt)
             nxt.succeed()
 
 

@@ -29,32 +29,32 @@ __all__ = ["generate_trace_rw"]
 
 def _compile_job(
     tb: TraceBuilder,
-    tree,
     module: int,
-    header_dirs: List[int],
-    module_dirs: List[List[Tuple[int, int]]],
+    header_listing: List[Tuple[int, List[str]]],
+    source_listing: List[List[Tuple[int, int, List[str]]]],
     deps: np.ndarray,
     uid_start: int,
 ) -> Iterator[int]:
     """Yield after each small burst of ops; drives one module's compilation.
 
-    Returns (via StopIteration) the number of object files created.
+    The directory listings are precomputed by the caller (the tree is static
+    during generation), so each job replays plain lists instead of re-walking
+    the namespace — RNG-free, the emitted trace is unchanged.
     """
     uid = uid_start
     # dependency header stats, a few dirs per burst
     for dep in deps:
-        hdir = header_dirs[int(dep)]
-        for hname in tree.children(hdir):
+        hdir, hnames = header_listing[int(dep)]
+        for hname in hnames:
             tb.stat(hdir, hname)
         yield 0
     # per source dir: list, open each source, create the object file
-    for sdir, bdir in module_dirs[module]:
+    for sdir, bdir, fnames in source_listing[module]:
         tb.readdir(sdir)
-        for fname, ino in tree.children(sdir).items():
-            if not tree.is_dir(ino):
-                tb.open(sdir, fname)
-                tb.create(bdir, f"{fname}.{uid}.o")
-                uid += 1
+        for fname in fnames:
+            tb.open(sdir, fname)
+            tb.create(bdir, f"{fname}.{uid}.o")
+            uid += 1
         yield 0
     return
 
@@ -80,6 +80,19 @@ def generate_trace_rw(
     tree = built.tree
     header_dirs = list(built.info["header_dirs"])
     module_dirs: List[List[Tuple[int, int]]] = built.info["module_dirs"]
+    # one-time listings of the static namespace (see _compile_job)
+    header_listing = [(h, list(tree.children(h))) for h in header_dirs]
+    source_listing = [
+        [
+            (
+                sdir,
+                bdir,
+                [f for f, ino in tree.children(sdir).items() if not tree.is_dir(ino)],
+            )
+            for sdir, bdir in dirs
+        ]
+        for dirs in module_dirs
+    ]
 
     tb = TraceBuilder(label="Trace-RW")
     module_picker = DriftingZipf(
@@ -96,7 +109,7 @@ def generate_trace_rw(
                 [[m], rng.choice(n_modules, size=header_fanout, p=dep_weights)]
             )
         )
-        job = _compile_job(tb, tree, m, header_dirs, module_dirs, deps, uid)
+        job = _compile_job(tb, m, header_listing, source_listing, deps, uid)
         uid += 10_000  # disjoint object-name ranges per job
         return job
 

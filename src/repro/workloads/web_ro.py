@@ -35,6 +35,13 @@ def generate_trace_ro(
     # only directories that contain files can serve page requests
     page_dirs = [d for d in built.read_dirs if tree.n_child_files(d) > 0]
     sampler = DriftingZipf(rng, page_dirs, alpha=alpha, drift=drift)
+    # The tree is static during generation, so the per-directory file-name
+    # lists are precomputed once instead of being rebuilt per sampled op.
+    # RNG-free: the draw sequence (and hence the trace) is unchanged.
+    files_of = {
+        d: [n for n, i in tree.children(d).items() if not tree.is_dir(i)]
+        for d in page_dirs
+    }
 
     tb = TraceBuilder(label="Trace-RO")
     per_seg = max(1, n_ops // segments)
@@ -47,8 +54,7 @@ def generate_trace_ro(
             if roll < readdir_fraction:
                 tb.readdir(d)
             else:
-                kids = tree.children(d)
-                names = [n for n, i in kids.items() if not tree.is_dir(i)]
+                names = files_of[d]
                 name = names[int(rng.integers(0, len(names)))]
                 if roll < readdir_fraction + (1 - readdir_fraction) * 0.6:
                     tb.stat(d, name)
