@@ -62,6 +62,12 @@ class EpochContext:
     #: per-MDS liveness at the epoch boundary (degraded-mode input from the
     #: fault injector); None means "no fault layer, everything is up"
     mds_up: Optional[np.ndarray] = None
+    #: the run's :class:`~repro.fs.elastic.liveness.MDSLiveness` view, set
+    #: only when an elastic pool is active.  Unlike ``mds_up`` (a snapshot
+    #: taken when the context was built) this is read *live*, so a drain the
+    #: pool controller starts mid-epoch is visible to evacuation planning
+    #: within the same boundary.
+    liveness: Optional[object] = None
 
     def note_candidates(self, roots, predicted) -> None:
         """Post the candidate set this epoch's policy scored to the audit
@@ -75,6 +81,37 @@ class EpochContext:
         if self.mds_up is None or bool(self.mds_up.all()):
             return None
         return np.nonzero(np.asarray(self.mds_up, dtype=bool))[0]
+
+    def dst_mask(self) -> Optional[np.ndarray]:
+        """Boolean mask of MDSs eligible as migration *destinations*.
+
+        Stricter than ``mds_up``: with an elastic pool, draining and gone
+        members are excluded even though a draining MDS still serves.
+        None means "everyone is eligible" (the common healthy case).
+        """
+        if self.liveness is not None:
+            mask = self.liveness.dst_mask()
+            return None if bool(mask.all()) else mask
+        if self.mds_up is None or bool(self.mds_up.all()):
+            return None
+        return np.asarray(self.mds_up, dtype=bool)
+
+    def dst_eligible(self) -> Optional[np.ndarray]:
+        """Index form of :meth:`dst_mask` (None when everyone is eligible)."""
+        mask = self.dst_mask()
+        return None if mask is None else np.nonzero(mask)[0]
+
+    def pool_mask(self) -> Optional[np.ndarray]:
+        """Boolean mask of pool *members* (non-gone), or None when full.
+
+        Crashed members stay included — involuntary absence is the trigger's
+        business as before; only parked/departed capacity is excluded so an
+        elastic pool's idle slots don't read as imbalance.
+        """
+        if self.liveness is None:
+            return None
+        mask = self.liveness.active_mask()
+        return None if bool(mask.all()) else mask
 
 
 class BalancePolicy(abc.ABC):
@@ -105,39 +142,77 @@ class LunuleTrigger:
     #: ...and the busiest MDS carried at least this much load (ms per epoch)
     min_load: float = 1.0
 
-    def should_rebalance(self, mds_load: np.ndarray) -> bool:
+    def should_rebalance(
+        self, mds_load: np.ndarray, active: Optional[np.ndarray] = None
+    ) -> bool:
+        """``active`` (optional boolean mask) restricts the imbalance
+        computation to pool members — elastic runs pass
+        ``EpochContext.pool_mask()`` so parked capacity's zero load does not
+        read as imbalance.  None (the default) keeps the historical
+        whole-array behaviour."""
         mds_load = np.asarray(mds_load, dtype=np.float64)
+        if active is not None:
+            mds_load = mds_load[np.asarray(active, dtype=bool)]
         if mds_load.size <= 1 or mds_load.max() < self.min_load:
             return False
         return imbalance_factor(mds_load) > self.threshold
 
 
+def _evacuation_masks(ctx: EpochContext):
+    """``(needs_evacuation per-MDS mask, destination index array)``.
+
+    With an elastic pool the masks come from the *live* liveness view:
+    evacuate what cannot keep authority (crashed, gone, or draining) onto
+    what may receive it (up and not leaving).  Without one, this reduces to
+    the historical fault-only behaviour — evacuate ``~mds_up`` onto
+    ``mds_up``.  Returns ``(None, None)`` when nothing needs evacuating or
+    nowhere can receive.
+    """
+    lv = ctx.liveness
+    if lv is not None:
+        serving = lv.serving_mask()
+        evac = ~serving | lv.draining_mask()
+        if not evac.any():
+            return None, None
+        dst = np.nonzero(lv.dst_mask())[0]
+    else:
+        if ctx.mds_up is None or bool(ctx.mds_up.all()):
+            return None, None
+        up = np.asarray(ctx.mds_up, dtype=bool)
+        evac = ~up
+        dst = np.nonzero(up)[0]
+    if dst.size == 0:
+        return None, None
+    return evac, dst
+
+
 def plan_evacuations(ctx: EpochContext) -> List[MigrationDecision]:
-    """Evacuate every subtree owned by a dead MDS onto the live survivors.
+    """Evacuate subtrees owned by departed/departing MDSs onto eligible ones.
 
     Degraded-mode first aid, shared by every subtree policy: when
-    ``ctx.mds_up`` marks MDSs down, their metadata authority must move or
-    clients will burn their whole retry budget against a corpse.  Maximal
-    single-owner subtrees rooted in dead territory become ordinary
+    ``ctx.mds_up`` marks MDSs down — or an elastic pool marks members
+    draining or gone — their metadata authority must move or clients will
+    burn their whole retry budget against a corpse.  Maximal single-owner
+    subtrees rooted in evacuating territory become ordinary
     :class:`MigrationDecision`\\ s (so the Migrator charges the destination's
-    ingest cost and the audit sees them); dead-owned directories trapped
+    ingest cost and the audit sees them); evacuating directories trapped
     inside mixed-owner subtrees — where a subtree move would steal live
     interiors — are repinned directly on the partition map, modelling
     authority recovery from the journal rather than a data transfer.
 
-    Destinations spread across live MDSs by estimated load (observed busy-ms
-    plus the op-load of subtrees already assigned this round).
+    Destinations spread across eligible MDSs by estimated load (observed
+    busy-ms plus the op-load of subtrees already assigned this round);
+    draining members are never destinations.
     """
-    live = ctx.live_mds()
-    if live is None:
+    evac, live = _evacuation_masks(ctx)
+    if evac is None:
         return []
     pmap, tree = ctx.pmap, ctx.tree
     owner = pmap.owner_array()
     cap = owner.shape[0]
-    up = np.asarray(ctx.mds_up, dtype=bool)
     dead_owned = np.zeros(cap, dtype=bool)
     owned = owner >= 0
-    dead_owned[owned] = ~up[owner[owned]]
+    dead_owned[owned] = evac[owner[owned]]
     dead_owned &= tree.dir_mask()[:cap]
     if not dead_owned.any():
         return []

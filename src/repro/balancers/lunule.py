@@ -71,11 +71,13 @@ def plan_exports(
     order = cands[np.argsort(-load_by_subtree[cands])]
     idx = tree.dfs_index()
     mean = loads.mean()
-    # export destinations: everyone but the source — minus dead MDSs when
-    # the fault layer reports an outage (degraded-mode candidate masking)
+    # export destinations: everyone but the source — minus MDSs that are
+    # dead (fault outage) or draining/parked (elastic departure): a
+    # migration must never target a server mid-departure
     others = np.delete(np.arange(loads.shape[0]), src)
-    if ctx.mds_up is not None:
-        others = others[np.asarray(ctx.mds_up, dtype=bool)[others]]
+    dst_ok = ctx.dst_mask()
+    if dst_ok is not None:
+        others = others[dst_ok[others]]
     if others.size == 0:
         return []
 
@@ -122,11 +124,12 @@ class LunulePolicy(BalancePolicy):
         # dead MDSs are evacuated unconditionally — before (and regardless
         # of) the load trigger: authority on a corpse serves nobody
         evacuations = plan_evacuations(ctx)
-        if not self.trigger.should_rebalance(ctx.mds_load):
+        if not self.trigger.should_rebalance(ctx.mds_load, ctx.pool_mask()):
             return evacuations
         loads = np.asarray(ctx.mds_load, dtype=np.float64)
-        if ctx.mds_up is not None:
-            loads = np.where(np.asarray(ctx.mds_up, dtype=bool), loads, -np.inf)
+        src_ok = ctx.dst_mask()  # dead/draining/parked: neither src nor dst
+        if src_ok is not None:
+            loads = np.where(src_ok, loads, -np.inf)
         src = int(np.argmax(loads))
         if not np.isfinite(loads[src]):
             return evacuations

@@ -97,6 +97,7 @@ def run_variant(
             faults=scenario.faults,
             obs=obs,
             data_dir=data_dir,
+            autoscale=variant.autoscale_spec(),
         ), obs
 
 
@@ -143,9 +144,28 @@ def extract_metrics(result, obs=None) -> Dict[str, float]:
         "engine_events_per_virtual_sec": float(result.engine_events_per_virtual_sec),
     }
     if result.timeline is not None:
-        for key in ("windows", "peak_ops_per_sec", "worst_p99_ms", "mean_imbalance"):
+        for key in (
+            "windows",
+            "peak_ops_per_sec",
+            "worst_p99_ms",
+            "mean_imbalance",
+            "pool_mean",
+            "pool_peak",
+            "pool_min",
+        ):
             if key in result.timeline:
                 metrics[f"timeline.{key}"] = float(result.timeline[key])
+    if result.elastic is not None:
+        for key in (
+            "mds_seconds",
+            "scale_outs",
+            "drains_started",
+            "drains_completed",
+            "pool_peak",
+            "pool_min",
+            "pool_final",
+        ):
+            metrics[f"elastic.{key}"] = float(result.elastic[key])
     if result.faults is not None:
         for key in ("crashes", "restarts", "retries", "failovers"):
             metrics[f"faults.{key}"] = float(result.faults[key])

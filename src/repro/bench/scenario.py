@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.fs.elastic import AutoscaleSpec
 from repro.fs.faults import Crash, FaultSchedule, Slowdown
 
 __all__ = [
@@ -30,7 +31,7 @@ __all__ = [
 ]
 
 #: workload families the harness knows how to build
-VALID_KINDS = ("rw", "ro", "wi", "mdtest")
+VALID_KINDS = ("rw", "ro", "wi", "mdtest", "diurnal", "flash", "onboard")
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,10 @@ class BenchVariant:
     #: back every MDS with a durable store (WAL + SSTables + MANIFEST) in a
     #: run-scoped temporary directory; crashes then pay derived recovery
     durability: bool = False
+    #: elastic-pool policy as a canonical :meth:`AutoscaleSpec.to_json`
+    #: string (a string keeps the frozen dataclass hashable); None runs the
+    #: variant statically provisioned, exactly as before the field existed
+    autoscale: Optional[str] = None
 
     def __post_init__(self):
         if not self.name:
@@ -59,9 +64,14 @@ class BenchVariant:
             raise ValueError("ops_factor must be positive")
         if self.cache_depth < 0:
             raise ValueError("cache_depth must be non-negative")
+        if self.autoscale is not None:
+            AutoscaleSpec.from_json(self.autoscale)  # fail at definition time
+
+    def autoscale_spec(self) -> Optional[AutoscaleSpec]:
+        return None if self.autoscale is None else AutoscaleSpec.from_json(self.autoscale)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        d = {
             "name": self.name,
             "strategy": self.strategy,
             "n_mds": self.n_mds,
@@ -70,6 +80,11 @@ class BenchVariant:
             "ops_factor": self.ops_factor,
             "durability": self.durability,
         }
+        # key present only on elastic variants: pre-existing scenario
+        # artifacts keep their byte-identical config blocks
+        if self.autoscale is not None:
+            d["autoscale"] = self.autoscale_spec().to_dict()
+        return d
 
 
 @dataclass(frozen=True)
@@ -290,6 +305,40 @@ register_scenario(
         seeds=(42,),
         scale="smoke",
         tags=("calibration",),
+    )
+)
+
+#: the autoscaler configurations the elastic_diurnal frontier compares;
+#: canonical JSON so the variant dataclasses stay frozen/hashable
+_ELASTIC_THRESHOLD = AutoscaleSpec(
+    policy="threshold", min_mds=1, max_mds=4, warmup_ms=5.0, warmup_factor=2.0,
+    cooldown_epochs=1, scale_out_util=0.5, scale_in_util=0.35,
+).to_json()
+_ELASTIC_PREDICTIVE = AutoscaleSpec(
+    policy="predictive", min_mds=1, max_mds=4, warmup_ms=5.0, warmup_factor=2.0,
+    cooldown_epochs=1, scale_out_util=0.5, scale_in_util=0.35, horizon_epochs=3,
+).to_json()
+
+register_scenario(
+    BenchScenario(
+        name="elastic_diurnal",
+        description=(
+            "cost/latency frontier on a two-day diurnal load: static 4-MDS "
+            "provisioning vs threshold and predictive autoscaling from 2 MDSs"
+        ),
+        kind="diurnal",
+        variants=(
+            # ops_factor 3: enough rebalance epochs per simulated day that
+            # the autoscaler can actually track the sinusoid
+            BenchVariant("static-4", strategy="Lunule", n_mds=4, ops_factor=3.0),
+            BenchVariant("threshold", strategy="Lunule", n_mds=2, ops_factor=3.0,
+                         autoscale=_ELASTIC_THRESHOLD),
+            BenchVariant("predictive", strategy="Lunule", n_mds=2, ops_factor=3.0,
+                         autoscale=_ELASTIC_PREDICTIVE),
+        ),
+        seeds=(42,),
+        scale="smoke",
+        tags=("elastic",),
     )
 )
 

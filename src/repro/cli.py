@@ -86,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     wl = sub.add_parser("workload", help="generate a trace and describe it")
-    wl.add_argument("kind", choices=("rw", "ro", "wi", "mdtest"))
+    wl.add_argument("kind", choices=("rw", "ro", "wi", "mdtest", "diurnal", "flash", "onboard"))
     wl.add_argument("--ops", type=int, default=30_000)
     wl.add_argument("--seed", type=int, default=0)
     wl.add_argument("--save", default=None, help="save the trace bundle to this .npz path")
@@ -99,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     si = sub.add_parser("simulate", help="one DES run of a strategy on a workload")
     si.add_argument("strategy", choices=_STRATEGIES)
-    si.add_argument("kind", choices=("rw", "ro", "wi", "mdtest"))
+    si.add_argument("kind", choices=("rw", "ro", "wi", "mdtest", "diurnal", "flash", "onboard"))
     si.add_argument("--ops", type=int, default=60_000)
     si.add_argument("--mds", type=int, default=5)
     si.add_argument("--clients", type=int, default=300)
@@ -123,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     si.add_argument("--resume", dest="resume_path", default=None, metavar="PATH",
                     help="warm-restart from a checkpoint written by --checkpoint "
                          "(pass the same workload/seed so the full trace matches)")
+    si.add_argument("--autoscale", dest="autoscale_path", default=None, metavar="PATH",
+                    help="autoscale spec JSON enabling the elastic MDS pool "
+                         "(see docs/elasticity.md)")
     si.add_argument("--faults", dest="faults_path", default=None, metavar="PATH",
                     help="JSON fault schedule (crashes, slowdowns, drops, partitions)")
     si.add_argument("--trace", dest="trace_out", default=None, metavar="PATH",
@@ -340,6 +343,15 @@ def _cmd_simulate(args) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"repro simulate: bad fault schedule: {exc}", file=sys.stderr)
             return 2
+    autoscale = None
+    if args.autoscale_path:
+        from repro.fs.elastic import AutoscaleSpec
+
+        try:
+            autoscale = AutoscaleSpec.load(args.autoscale_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro simulate: bad autoscale spec: {exc}", file=sys.stderr)
+            return 2
     if args.trace_sample < 1:
         print(f"repro simulate: --trace-sample must be >= 1, got {args.trace_sample}",
               file=sys.stderr)
@@ -384,6 +396,7 @@ def _cmd_simulate(args) -> int:
         obs=obs,
         faults=faults,
         data_dir=args.data_dir,
+        autoscale=autoscale,
     )
     try:
         if args.resume_path:
@@ -430,6 +443,13 @@ def _cmd_simulate(args) -> int:
         print(f"fault op outcomes   : {int(fl['ops_recovered'])} recovered, "
               f"{int(fl['ops_failed'])} failed typed, {r.vanished_ops} vanished "
               f"({fl['backoff_wait_ms']:.1f} ms spent backing off)")
+    if r.elastic is not None:
+        el = r.elastic
+        print(f"elastic pool        : {int(el['pool_initial'])} -> "
+              f"{int(el['pool_final'])} MDSs (peak {int(el['pool_peak'])}, "
+              f"min {int(el['pool_min'])}), {int(el['scale_outs'])} scale-outs, "
+              f"{int(el['drains_completed'])}/{int(el['drains_started'])} drains")
+        print(f"elastic cost        : {el['mds_seconds']:.3f} MDS-seconds provisioned")
     if r.kvstore is not None:
         kv = r.kvstore
         print(f"kvstore gets/puts   : {int(kv['gets']):,} / {int(kv['puts']):,} "

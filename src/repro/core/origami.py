@@ -81,7 +81,10 @@ class OrigamiPolicy(BalancePolicy):
         # destination)
         evacuations = plan_evacuations(ctx)
         live = ctx.live_mds()
-        if not self.trigger.should_rebalance(ctx.mds_load):
+        # stricter than `live`: also excludes draining/parked elastic members
+        src_ok = ctx.dst_mask()
+        dst_idx = ctx.dst_eligible()
+        if not self.trigger.should_rebalance(ctx.mds_load, ctx.pool_mask()):
             return evacuations
         pmap, tree = ctx.pmap, ctx.tree
         loads = np.asarray(ctx.mds_load, dtype=np.float64).copy()
@@ -117,8 +120,8 @@ class OrigamiPolicy(BalancePolicy):
             if last is not None and ctx.epoch - last < self.cooldown_epochs:
                 continue  # let the previous move's effect become observable
             src = int(owner[s])
-            if live is not None and not ctx.mds_up[src]:
-                continue  # dead sources are the evacuation pass's business
+            if src_ok is not None and not src_ok[src]:
+                continue  # dead/draining sources are the evacuation pass's business
             # only shed load from above-average MDSs; moving work onto the
             # hottest machine can't shrink the largest bin
             if loads[src] <= mean_load:
@@ -129,7 +132,11 @@ class OrigamiPolicy(BalancePolicy):
                 for c in taken
             ):
                 continue  # overlaps (either way) with an already-moved subtree
-            dst = int(np.argmin(loads)) if live is None else int(live[np.argmin(loads[live])])
+            dst = (
+                int(np.argmin(loads))
+                if dst_idx is None
+                else int(dst_idx[np.argmin(loads[dst_idx])])
+            )
             if dst == src:
                 continue
             moved = float(sub_load[s])
@@ -150,8 +157,8 @@ class OrigamiPolicy(BalancePolicy):
 
             raw = subtree_loads(ctx)
             observed = np.asarray(ctx.mds_load, dtype=np.float64)
-            if live is not None:
-                observed = np.where(np.asarray(ctx.mds_up, dtype=bool), observed, -np.inf)
+            if src_ok is not None:
+                observed = np.where(src_ok, observed, -np.inf)
             src = int(np.argmax(observed))
             if np.isfinite(observed[src]):
                 moves = plan_exports(ctx, raw, src, self.max_moves)

@@ -362,6 +362,7 @@ class ClientWorker:
         dir_inos = fs._dir_inos
         auxs = fs._aux
         names = fs._op_names
+        thinks = fs._think  # None for every trace without a think column
         faulty = fs.faults is not None
         datapath = fs.datapath
         data_ops = fs.DATA_OPS
@@ -371,6 +372,12 @@ class ClientWorker:
                 return
             op = ops[i]
             dir_ino = dir_inos[i]
+            if thinks is not None:
+                # offered-load shaping: the client idles before issuing, so
+                # think time is *not* part of the op's measured latency
+                t = thinks[i]
+                if t > 0.0:
+                    yield Timeout(env, t)
             if tracing:
                 span = tracer.start(
                     i,

@@ -70,6 +70,8 @@ class EpochDriver:
         fs = self.fs
         env = fs.env
         audit = fs.obs.audit
+        elastic = getattr(fs, "elastic", None)
+        liveness = fs.liveness if elastic is not None else None
         m_epochs = fs.obs.registry.counter("epochs_total", "epoch boundaries crossed")
         while True:
             yield env.timeout(fs.config.epoch_ms)
@@ -89,7 +91,12 @@ class EpochDriver:
                 oracle_window=fs.upcoming(self.oracle_window_ops),
                 completed_window=completed,
                 obs=fs.obs,
-                mds_up=fs.faults.up_mask() if fs.faults is not None else None,
+                mds_up=(
+                    liveness.serving_mask()
+                    if liveness is not None
+                    else fs.faults.up_mask() if fs.faults is not None else None
+                ),
+                liveness=liveness,
             )
             decisions = self.policy.rebalance(ctx)
             if decisions:
@@ -104,5 +111,9 @@ class EpochDriver:
                         fs.migrator.log.applied[before:],
                         tree=fs.tree,
                     )
+            if elastic is not None:
+                # autoscaling runs after the balancer so scale decisions see
+                # this epoch's load and drains reuse its evacuation machinery
+                yield from elastic.step(ctx, em)
             if fs.replay_done:
                 return

@@ -162,7 +162,17 @@ class FaultInjector:
         return f
 
     def up_mask(self) -> np.ndarray:
-        """Boolean per-MDS liveness (the balancers' degraded-mode input)."""
+        """Boolean per-MDS liveness (the balancers' degraded-mode input).
+
+        Deprecation shim: membership is now owned by the filesystem's
+        :class:`~repro.fs.elastic.liveness.MDSLiveness` view, which folds
+        this injector's crash flags together with voluntary elastic states
+        (warming/draining/gone).  Prefer ``fs.liveness.serving_mask()``.
+        With no elastic pool the two are identical, bit for bit.
+        """
+        liveness = getattr(self.fs, "liveness", None)
+        if liveness is not None:
+            return liveness.serving_mask()
         return np.array([s.up for s in self.fs.servers], dtype=bool)
 
     def count_service_abort(self) -> None:

@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.balancers.base import BalancePolicy
 from repro.costmodel.optypes import OpType
+from repro.fs.elastic.controller import MDSPoolController
+from repro.fs.elastic.liveness import MDSLiveness
 from repro.costmodel.params import CostParams
 from repro.fs.cache import LeaseCache, NearRootCache
 from repro.fs.client import ClientWorker
@@ -81,10 +83,17 @@ class SimConfig:
     data_dir: Optional[str] = None
     #: durability latency prices; defaulted when data_dir is set
     durability: Optional[DurabilityCostModel] = None
+    #: elastic-pool spec (repro.fs.elastic.AutoscaleSpec); None (the
+    #: default) keeps the historical fixed pool, bit-identically.  When set,
+    #: ``n_mds`` is the *initial* pool size and the cluster is provisioned
+    #: at ``autoscale.max_mds`` capacity with the surplus parked
+    autoscale: Optional[object] = None
 
     def __post_init__(self):
         if self.n_mds < 1 or self.n_clients < 1:
             raise ValueError("need at least one MDS and one client")
+        if self.autoscale is not None:
+            self.autoscale.validate(self.n_mds)
         if self.epoch_ms <= 0:
             raise ValueError("epoch_ms must be positive")
         if self.cache_mode not in ("near-root", "lease", "none"):
@@ -134,9 +143,28 @@ class OrigamiFS:
             "client_latency_ms", "client-observed metadata latency (ms)"
         )
 
-        self.pmap = policy.setup(tree, self.config.n_mds, ssf.stream("policy"))
+        #: pool capacity: with an elastic pool the cluster is provisioned at
+        #: ``autoscale.max_mds`` (servers + partition-map width) and members
+        #: beyond ``n_mds`` start parked; without one this is just ``n_mds``
+        autoscale = self.config.autoscale
+        self.pool_capacity = (
+            self.config.n_mds if autoscale is None else autoscale.max_mds
+        )
+        self.pmap = policy.setup(tree, self.pool_capacity, ssf.stream("policy"))
         if restore_from is not None:
             restore_from.apply_partition(self)
+        if autoscale is not None:
+            owners = self.pmap.owner_array()
+            owners = owners[owners >= 0]
+            if self.pmap.placement is not None or (
+                owners.size and int(owners.max()) >= self.config.n_mds
+            ):
+                raise ValueError(
+                    "autoscaling requires a subtree-placement policy whose "
+                    "initial partition fits on the initially active MDSs "
+                    f"(0..{self.config.n_mds - 1}); hash placements pin "
+                    "directories across the whole pool and cannot drain"
+                )
         self.use_kvstore = self.config.use_kvstore
         self.durability = self.config.durability
         self.servers = [
@@ -153,8 +181,12 @@ class OrigamiFS:
                 ),
                 durability=self.durability,
             )
-            for i in range(self.config.n_mds)
+            for i in range(self.pool_capacity)
         ]
+        #: combined voluntary + involuntary membership view (always present;
+        #: with no elastic pool every member is UP and the view reduces to
+        #: the servers' crash flags)
+        self.liveness = MDSLiveness(self.servers, n_active=self.config.n_mds)
         if self.use_kvstore:
             if restore_from is not None and self.config.data_dir is not None:
                 # durable warm restart: the reopened stores already replayed
@@ -199,6 +231,9 @@ class OrigamiFS:
         self._dir_inos = trace.dir_ino.tolist()
         self._aux = trace.aux.tolist()
         self._op_names = trace.names
+        #: per-op client think time (offered-load shaping); None — the
+        #: overwhelmingly common case — keeps the client loop unchanged
+        self._think = trace.think_ms.tolist() if trace.think_ms is not None else None
         #: constant RTT when jitter is off (the default) — no RNG either way
         self._rtt_const = self.params.rtt if self.config.rtt_jitter == 0 else None
         #: memoised client plans, keyed (dir_ino, lsdir?); flushed whenever
@@ -234,6 +269,11 @@ class OrigamiFS:
             FaultInjector(self, self.config.faults)  # sets self.faults
         if restore_from is not None:
             restore_from.apply_fault_rng(self)
+
+        #: elastic pool controller (None = historical fixed pool)
+        self.elastic: Optional[MDSPoolController] = None
+        if autoscale is not None:
+            self.elastic = MDSPoolController(self, autoscale)
 
         # bind the timeline last: the clock has already warped (restores) and
         # the setup-population WAL activity is behind the snapshot baseline,
@@ -311,6 +351,8 @@ class OrigamiFS:
             for s in self.servers:
                 if s.store is not None:
                     s.store.close()
+        if self.elastic is not None:
+            self.elastic.finalize(duration)
         self.obs.finalize(self)
         kv_stats = None
         if self.use_kvstore:
@@ -347,6 +389,7 @@ class OrigamiFS:
             engine_events=self.env.events_processed,
             kvstore=kv_stats,
             faults=self.faults.summary() if self.faults is not None else None,
+            elastic=self.elastic.summary() if self.elastic is not None else None,
             wall_s=wall_s,
             timeline=(
                 self.obs.timeline.summary() if self.obs.timeline.enabled else None

@@ -124,10 +124,15 @@ class SimResult:
     #: TimelineCollector.summary() when simulate ran with a timeline (None
     #: otherwise); deterministic scalars only
     timeline: Optional[Dict[str, float]] = None
+    #: MDSPoolController.summary() when an elastic pool was active (None
+    #: otherwise).  Unlike kvstore/faults/timeline this key is *omitted*
+    #: from to_dict() when absent: pre-elastic golden baselines pin the
+    #: exact key set, and autoscaling-off runs must stay bit-identical
+    elastic: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict:
         """Full JSON-ready serialisation, including the per-epoch arrays."""
-        return {
+        d = {
             "strategy": self.strategy,
             "n_mds": self.n_mds,
             "epoch_ms": self.epoch_ms,
@@ -156,6 +161,9 @@ class SimResult:
             "timeline": self.timeline,
             "per_epoch": [e.to_dict() for e in self.per_epoch],
         }
+        if self.elastic is not None:
+            d["elastic"] = self.elastic
+        return d
 
     @property
     def throughput_ops_per_sec(self) -> float:

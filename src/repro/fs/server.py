@@ -52,6 +52,12 @@ class MdsServer:
         self.up = True
         self.incarnation = 0
         self._faults = None
+        #: voluntary-join warm-up (elastic scale-out): service is degraded by
+        #: ``warm_factor`` until virtual time passes ``warm_until``.  The
+        #: defaults make the check a single always-false compare, so runs
+        #: without an elastic pool are bit-identical.
+        self.warm_until = 0.0
+        self.warm_factor = 1.0
         #: durability cost model (repro.sim.DurabilityCostModel) or None
         self.durability = durability
         self.data_dir = data_dir
@@ -175,6 +181,10 @@ class MdsServer:
             # degradation (slowdown window or restart warm-up) applies at the
             # moment the request enters service, as in the legacy injector
             duration_ms *= faults.service_factor(self.mds_id, env._now)
+        if self.warm_until > env._now:
+            # cold caches on a freshly provisioned elastic member: same
+            # degradation shape as the fault schedule's restart warm-up
+            duration_ms *= self.warm_factor
         resource = self.resource
         req = resource.request()
         try:  # try/finally, not `with`: skips the __enter__/__exit__ calls

@@ -41,7 +41,10 @@ from repro.obs.profiling import PROFILER
 from repro.sim import SeedSequenceFactory
 from repro.training import collect_training_data, train_models, train_origami_model
 from repro.workloads import (
+    generate_trace_diurnal,
+    generate_trace_flash,
     generate_trace_mdtest,
+    generate_trace_onboard,
     generate_trace_ro,
     generate_trace_rw,
     generate_trace_wi,
@@ -75,6 +78,9 @@ _WORKLOADS = {
     "ro": generate_trace_ro,
     "wi": generate_trace_wi,
     "mdtest": generate_trace_mdtest,
+    "diurnal": generate_trace_diurnal,
+    "flash": generate_trace_flash,
+    "onboard": generate_trace_onboard,
 }
 
 
@@ -85,6 +91,9 @@ _TREE_SIZE_KNOB = {
     "ro": ("n_dirs", 3000),
     "wi": ("n_tenants", 50),
     "mdtest": ("n_ranks", 32),
+    "diurnal": ("n_tenants", 24),
+    "flash": ("n_tenants", 24),
+    "onboard": ("n_tenants", 24),
 }
 
 
@@ -174,6 +183,7 @@ def run_strategy(
     obs=None,
     data_dir: Optional[str] = None,
     durability=None,
+    autoscale=None,
 ) -> SimResult:
     """One full DES run of a strategy on a workload.
 
@@ -196,6 +206,7 @@ def run_strategy(
         obs=obs,
         data_dir=data_dir,
         durability=durability,
+        autoscale=autoscale,
     )
     with PROFILER.phase(f"simulate:{name}"):
         return run_simulation(built.tree, trace, policy, config)

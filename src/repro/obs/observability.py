@@ -147,6 +147,10 @@ class Observability:
                 "faults_ops_vanished_total", "ops whose target dir vanished"
             ).set(fs.vanished_ops)
 
+        if getattr(fs, "elastic", None) is not None:
+            for name, value in fs.elastic.summary().items():
+                reg.gauge(f"elastic_{name}", f"elastic pool {name}").set(value)
+
         if self.audit is not None:
             for name, value in self.audit.summary().items():
                 reg.gauge(f"balancer_{name}", f"audit {name}").set(value)

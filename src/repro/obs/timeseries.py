@@ -153,6 +153,12 @@ class TimelineCollector:
         # per-MDS columns, allocated at bind time ([window, mds])
         self._mds: Dict[str, np.ndarray] = {}
 
+        # elastic-pool series: active pool size at each window close, only
+        # allocated when the bound fs runs an elastic pool (None otherwise so
+        # non-elastic exports stay byte-identical)
+        self._liveness: Any = None
+        self._pool: Optional[np.ndarray] = None
+
         # previous cumulative snapshots (delta bases)
         self._prev_busy: Optional[np.ndarray] = None
         self._prev_rpcs: Optional[np.ndarray] = None
@@ -193,6 +199,9 @@ class TimelineCollector:
         self._prev_wal_ms = np.array([s.durability_ms_total for s in fs.servers])
         self._prev_cache = fs.cache.counters()
         self._prev_events = fs.env.events_processed
+        if getattr(fs, "elastic", None) is not None:
+            self._liveness = fs.liveness
+            self._pool = np.zeros(self._cap, dtype=np.int64)
 
     @staticmethod
     def _store_stat(server: Any, name: str) -> int:
@@ -216,6 +225,10 @@ class TimelineCollector:
             grown = np.zeros((new_cap, old.shape[1]), dtype=old.dtype)
             grown[: self._cap] = old
             self._mds[name] = grown
+        if self._pool is not None:
+            grown = np.zeros(new_cap, dtype=np.int64)
+            grown[: self._cap] = self._pool
+            self._pool = grown
         self._cap = new_cap
 
     # -------------------------------------------------------------- samples
@@ -303,6 +316,9 @@ class TimelineCollector:
             self._events[i] = events - self._prev_events
             self._prev_events = events
 
+            if self._pool is not None:
+                self._pool[i] = self._liveness.n_active()
+
         self._closed = i + 1
         self.window_end_ms = end_ms + self.window_ms
 
@@ -366,18 +382,27 @@ class TimelineCollector:
                 col = self._mds.get(name)
                 if col is not None:
                     row[f"mds_{name}"] = col[i].tolist()
+            if self._pool is not None:
+                row["pool_size"] = int(self._pool[i])
             rows.append(row)
         return rows
 
     def meta(self) -> Dict[str, Any]:
-        """The JSONL header line (schema + run geometry)."""
-        return {
+        """The JSONL header line (schema + run geometry).
+
+        The ``elastic`` key appears only for elastic-pool runs: pre-elastic
+        exports (and their golden hashes) keep the exact historical key set.
+        """
+        d = {
             "schema": TIMELINE_SCHEMA_VERSION,
             "kind": "timeline",
             "window_ms": self.window_ms,
             "n_mds": self._n_mds,
             "n_windows": self._closed,
         }
+        if self._pool is not None:
+            d["elastic"] = True
+        return d
 
     def summary(self) -> Dict[str, float]:
         """Scalar roll-up carried in ``SimResult`` and bench artifacts.
@@ -398,7 +423,7 @@ class TimelineCollector:
             span_ms += end - start
             peak_ops_s = max(peak_ops_s, int(self._ops[i]) / dur_s)
         span_s = max(span_ms, 1e-9) / 1000.0
-        return {
+        out = {
             "windows": float(n),
             "window_ms": self.window_ms,
             "total_ops": float(total_ops),
@@ -408,6 +433,26 @@ class TimelineCollector:
             "engine_events": float(total_events),
             "events_per_virtual_sec": total_events / span_s,
         }
+        if self._pool is not None:
+            pool = self._pool[:n]
+            out["pool_mean"] = float(pool.mean())
+            out["pool_peak"] = float(pool.max())
+            out["pool_min"] = float(pool.min())
+        return out
+
+    # ------------------------------------------------------- live accessors
+    def recent_cluster_busy(self, n: int) -> np.ndarray:
+        """Per-window total cluster busy-ms of the last ``n`` closed windows.
+
+        The predictive autoscale policy's signal: read *during* the run, so
+        it only covers windows already closed.  Empty when nothing closed
+        yet or the collector is unbound.
+        """
+        busy = self._mds.get("busy_ms")
+        if busy is None or self._closed == 0:
+            return np.zeros(0, dtype=np.float64)
+        k = min(int(n), self._closed)
+        return busy[self._closed - k : self._closed].sum(axis=1)
 
 
 class _NullTimeline:
@@ -441,6 +486,9 @@ class _NullTimeline:
 
     def summary(self) -> Dict[str, float]:
         return {}
+
+    def recent_cluster_busy(self, n: int) -> np.ndarray:
+        return np.zeros(0, dtype=np.float64)
 
 
 #: the shared disabled collector — the implicit default everywhere

@@ -18,6 +18,11 @@ the DES replay, which materialises creations/deletions in the namespace.
 
 from repro.workloads.cloud_wi import generate_trace_wi
 from repro.workloads.compile_rw import generate_trace_rw
+from repro.workloads.elastic_load import (
+    generate_trace_diurnal,
+    generate_trace_flash,
+    generate_trace_onboard,
+)
 from repro.workloads.mdtest import generate_trace_mdtest
 from repro.workloads.trace import Trace, TraceBuilder
 from repro.workloads.web_ro import generate_trace_ro
@@ -29,4 +34,7 @@ __all__ = [
     "generate_trace_ro",
     "generate_trace_wi",
     "generate_trace_mdtest",
+    "generate_trace_diurnal",
+    "generate_trace_flash",
+    "generate_trace_onboard",
 ]

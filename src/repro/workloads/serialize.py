@@ -35,6 +35,7 @@ def save_bundle(path: str, tree: NamespaceTree, trace: Optional[Trace] = None) -
         "has_trace": trace is not None,
         "trace_label": trace.label if trace is not None else "",
         "trace_has_names": trace is not None and trace.names is not None,
+        "trace_has_think": trace is not None and trace.think_ms is not None,
     }
     cap = tree.capacity
     arrays = {
@@ -53,6 +54,8 @@ def save_bundle(path: str, tree: NamespaceTree, trace: Optional[Trace] = None) -
             arrays["trace_names"] = np.frombuffer(
                 _SEP.join(trace.names).encode("utf-8"), dtype=np.uint8
             )
+        if trace.think_ms is not None:
+            arrays["trace_think"] = trace.think_ms
     np.savez_compressed(path, **arrays)
 
 
@@ -75,8 +78,15 @@ def load_bundle(path: str) -> Tuple[NamespaceTree, Optional[Trace]]:
             tnames = None
             if header["trace_has_names"]:
                 tnames = bytes(z["trace_names"]).decode("utf-8").split(_SEP)
+            # .get(): bundles written before the think column existed
+            think = z["trace_think"] if header.get("trace_has_think") else None
             trace = Trace(
-                z["trace_op"], z["trace_dir"], z["trace_aux"], tnames, header["trace_label"]
+                z["trace_op"],
+                z["trace_dir"],
+                z["trace_aux"],
+                tnames,
+                header["trace_label"],
+                think,
             )
     return tree, trace
 

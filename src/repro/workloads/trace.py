@@ -31,7 +31,7 @@ __all__ = ["Trace", "TraceBuilder"]
 class Trace:
     """An immutable sequence of metadata operations (column arrays)."""
 
-    __slots__ = ("op", "dir_ino", "aux", "names", "label")
+    __slots__ = ("op", "dir_ino", "aux", "names", "label", "think_ms")
 
     def __init__(
         self,
@@ -40,6 +40,7 @@ class Trace:
         aux: np.ndarray,
         names: Optional[List[str]] = None,
         label: str = "",
+        think_ms: Optional[np.ndarray] = None,
     ):
         op = np.asarray(op, dtype=np.int8)
         dir_ino = np.asarray(dir_ino, dtype=np.int64)
@@ -48,11 +49,20 @@ class Trace:
             raise ValueError("trace columns must have equal length")
         if names is not None and len(names) != op.shape[0]:
             raise ValueError("names column length mismatch")
+        if think_ms is not None:
+            think_ms = np.asarray(think_ms, dtype=np.float64)
+            if think_ms.shape != op.shape:
+                raise ValueError("think_ms column length mismatch")
         self.op = op
         self.dir_ino = dir_ino
         self.aux = aux
         self.names = names
         self.label = label
+        #: optional per-op client idle time before issue (ms) — the offered-
+        #: load shaping column the diurnal/flash-crowd generators emit.
+        #: None (every pre-existing trace) replays bit-identically to before
+        #: the column existed.
+        self.think_ms = think_ms
 
     def __len__(self) -> int:
         return int(self.op.shape[0])
@@ -62,7 +72,10 @@ class Trace:
         if isinstance(sl, int):
             sl = slice(sl, sl + 1)
         names = self.names[sl] if self.names is not None else None
-        return Trace(self.op[sl], self.dir_ino[sl], self.aux[sl], names, self.label)
+        think = self.think_ms[sl] if self.think_ms is not None else None
+        return Trace(
+            self.op[sl], self.dir_ino[sl], self.aux[sl], names, self.label, think
+        )
 
     def categories(self) -> np.ndarray:
         """Per-op cost category (read / lsdir / ns-mutation)."""
@@ -92,12 +105,27 @@ class Trace:
         names = None
         if self.names is not None and other.names is not None:
             names = self.names + other.names
+        think = None
+        if self.think_ms is not None or other.think_ms is not None:
+            # one side missing the column means "no think time": zero-fill
+            a = (
+                self.think_ms
+                if self.think_ms is not None
+                else np.zeros(len(self), dtype=np.float64)
+            )
+            b = (
+                other.think_ms
+                if other.think_ms is not None
+                else np.zeros(len(other), dtype=np.float64)
+            )
+            think = np.concatenate([a, b])
         return Trace(
             np.concatenate([self.op, other.op]),
             np.concatenate([self.dir_ino, other.dir_ino]),
             np.concatenate([self.aux, other.aux]),
             names,
             self.label or other.label,
+            think,
         )
 
 
@@ -109,16 +137,37 @@ class TraceBuilder:
         self._dir: List[int] = []
         self._aux: List[int] = []
         self._names: List[str] = []
+        self._think: List[float] = []
         self.label = label
 
     def __len__(self) -> int:
         return len(self._op)
 
-    def add(self, op: OpType, dir_ino: int, name: str = "", aux: int = -1) -> None:
+    def add(
+        self,
+        op: OpType,
+        dir_ino: int,
+        name: str = "",
+        aux: int = -1,
+        think_ms: float = 0.0,
+    ) -> None:
         self._op.append(int(op))
         self._dir.append(int(dir_ino))
         self._aux.append(int(aux))
         self._names.append(name)
+        self._think.append(float(think_ms))
+
+    def think(self, ms: float) -> None:
+        """Attach client idle time before the most recently added op issues."""
+        if self._think and ms > 0:
+            self._think[-1] += float(ms)
+
+    def set_think(self, start: int, ms: float) -> None:
+        """Set think time on every op added since index ``start`` (burst
+        emitters stamp a whole burst with one phase's think time)."""
+        ms = float(ms)
+        for j in range(start, len(self._think)):
+            self._think[j] = ms
 
     # convenience emitters -------------------------------------------------
     def stat(self, dir_ino: int, name: str) -> None:
@@ -146,10 +195,14 @@ class TraceBuilder:
         self.add(OpType.RENAME, dir_ino, name)
 
     def build(self) -> Trace:
+        think = np.array(self._think, dtype=np.float64)
         return Trace(
             np.array(self._op, dtype=np.int8),
             np.array(self._dir, dtype=np.int64),
             np.array(self._aux, dtype=np.int64),
             list(self._names),
             self.label,
+            # all-zero think collapses to "no column": pre-existing
+            # generators keep producing traces identical to before
+            think if think.any() else None,
         )

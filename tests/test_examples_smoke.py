@@ -27,6 +27,17 @@ def test_metaopt_planner_runs():
     assert "JCT improvement" in out.stdout
 
 
+def test_autoscale_demo_runs():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "autoscale_demo.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    # the demo asserts pool breathing + zero lost ops itself
+    assert "pool breathed through both days" in out.stdout
+    assert "fewer MDS-seconds" in out.stdout
+
+
 def test_crash_failover_demo_runs():
     out = subprocess.run(
         [sys.executable, str(EXAMPLES / "crash_failover_demo.py")],
