@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 
@@ -41,6 +42,24 @@ def run(kind: str, scale, seed: int):
     return run_strategy("Lunule", kind, scale, seed=seed)
 
 
+def _hotspot_rows(stats: pstats.Stats, top: int) -> list:
+    """The sorted cost table as plain dicts (one per function)."""
+    rows = []
+    for func in (stats.fcn_list or sorted(stats.stats))[:top]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": int(nc),
+                "primitive_calls": int(cc),
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--kind", default="rw", choices=("rw", "ro", "wi", "mdtest"))
@@ -54,6 +73,10 @@ def main(argv=None) -> int:
     ap.add_argument("--repeat", type=int, default=0, metavar="N",
                     help="also run N un-profiled passes and report the best "
                          "engine_events_per_wall_sec (0 = skip)")
+    ap.add_argument("--json", metavar="PATH", dest="json_path",
+                    help="also write the top-N hotspots plus the run summary "
+                         "as a machine-readable JSON artifact (CI uploads "
+                         "this from the hotpath-equivalence job)")
     args = ap.parse_args(argv)
 
     from repro.harness.config import get_scale
@@ -75,6 +98,7 @@ def main(argv=None) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)
 
+    best = None
     if args.repeat > 0:
         best = 0.0
         for i in range(args.repeat):
@@ -83,6 +107,31 @@ def main(argv=None) -> int:
             best = max(best, rate)
             print(f"un-profiled pass {i + 1}/{args.repeat}: {rate:,.0f} ev/s")
         print(f"best engine_events_per_wall_sec: {best:,.0f}")
+
+    if args.json_path:
+        payload = {
+            "kind": args.kind,
+            "scale": scale.name,
+            "seed": args.seed,
+            "sort": args.sort,
+            "top": args.top,
+            "run": {
+                "ops_completed": int(result.ops_completed),
+                "engine_events": int(result.engine_events),
+                "wall_s_profiled": round(float(result.wall_s), 3),
+                "engine_events_per_wall_sec_profiled": round(
+                    float(result.engine_events_per_wall_sec), 1
+                ),
+            },
+            "best_unprofiled_events_per_wall_sec": (
+                round(best, 1) if best is not None else None
+            ),
+            "hotspots": _hotspot_rows(stats, args.top),
+        }
+        with open(args.json_path, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote hotspot JSON to {args.json_path}")
     return 0
 
 

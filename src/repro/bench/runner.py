@@ -17,6 +17,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover — non-Unix
+    _resource = None
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Optional, Sequence, Tuple
@@ -58,10 +63,18 @@ def _run_cell(job: Tuple[str, str, int, str]) -> Dict[str, Any]:
         "seed": int(seed),
         "strategy": variant.strategy,
         "metrics": extract_metrics(result, obs),
-        # wall-clock engine time is machine-dependent: popped out of the row
-        # before artifact assembly and summarised into the volatile "perf"
-        # section, so the deterministic core stays byte-identical
+        # wall-clock engine time and peak RSS are machine-dependent: popped
+        # out of the row before artifact assembly and summarised into the
+        # volatile "perf" section, so the deterministic core stays
+        # byte-identical.  ru_maxrss is the *process* high-water mark: exact
+        # per cell under pooled workers (one process per cell), cumulative
+        # across cells when running inline with workers=1
         "wall_s": float(result.wall_s),
+        "peak_rss_kb": (
+            float(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+            if _resource is not None
+            else 0.0
+        ),
     }
 
 
@@ -142,8 +155,12 @@ def _perf_section(rows) -> Dict[str, Any]:
     by_variant: Dict[str, Dict[str, list]] = {}
     for row in rows:
         wall = row.pop("wall_s", 0.0)
-        per = by_variant.setdefault(row["variant"], {"wall_s": [], "rate": []})
+        rss = row.pop("peak_rss_kb", 0.0)
+        per = by_variant.setdefault(
+            row["variant"], {"wall_s": [], "rate": [], "rss": []}
+        )
         per["wall_s"].append(wall)
+        per["rss"].append(rss)
         events = row["metrics"].get("engine_events", 0.0)
         per["rate"].append(events / wall if wall > 0 else 0.0)
     return {
@@ -152,6 +169,9 @@ def _perf_section(rows) -> Dict[str, Any]:
             "engine_events_per_wall_sec": summarize(
                 per["rate"], stream_name="bench-perf"
             ),
+            # memory regressions from the array-backed namespace migration
+            # show up here in `bench report` (volatile, like wall_s)
+            "peak_rss_kb": summarize(per["rss"], stream_name="bench-perf"),
         }
         for variant, per in sorted(by_variant.items())
     }

@@ -99,7 +99,7 @@ class PartitionMap:
                     continue
                 filled_dir = True
                 if self.placement is not None:
-                    self._owner[ino] = self.placement(self, tree._parent[ino], tree._name[ino])
+                    self._owner[ino] = self.placement(self, int(tree._parent[ino]), tree._name[ino])
                 else:
                     po = self._owner[tree._parent[ino]]
                     self._owner[ino] = po if po >= 0 else 0
@@ -141,7 +141,7 @@ class PartitionMap:
         # slicing allocates a fresh view object every call (hot: once per op);
         # reuse it until capacity changes — in-place owner edits alias through
         view = self._view
-        cap = len(self.tree._parent)
+        cap = self.tree.capacity
         if view is not None and view.shape[0] == cap:
             return view
         self._view = view = self._owner[:cap]

@@ -74,19 +74,24 @@ def _canonical(obj: Any) -> bytes:
 
 # --------------------------------------------------------------------- tree
 def _tree_state(tree) -> Dict[str, Any]:
-    """Exact snapshot of a NamespaceTree's internal arrays."""
+    """Exact snapshot of a NamespaceTree's internal arrays.
+
+    The numpy columns are sliced to the logical extent and converted to
+    plain Python scalars so the JSON payload is portable.
+    """
+    n = tree.capacity
     return {
-        "parent": list(tree._parent),
+        "parent": tree._parent[:n].tolist(),
         "name": list(tree._name),
-        "ftype": list(tree._ftype),
-        "depth": list(tree._depth),
-        "alive": list(tree._alive),
-        "size": list(tree._size),
+        "ftype": tree._ftype[:n].tolist(),
+        "depth": tree._depth[:n].tolist(),
+        "alive": tree._alive[:n].tolist(),
+        "size": tree._size[:n].tolist(),
         "children": [
             None if kids is None else dict(kids) for kids in tree._children
         ],
-        "n_child_files": list(tree._n_child_files),
-        "n_child_dirs": list(tree._n_child_dirs),
+        "n_child_files": tree._n_child_files[:n].tolist(),
+        "n_child_dirs": tree._n_child_dirs[:n].tolist(),
         "num_dirs": tree._num_dirs,
         "num_files": tree._num_files,
         "version": tree.version,
@@ -95,22 +100,31 @@ def _tree_state(tree) -> Dict[str, Any]:
 
 def _rebuild_tree(state: Dict[str, Any]):
     """Reconstruct a NamespaceTree with identical ino numbering."""
+    import numpy as np
+
     from repro.namespace.tree import NamespaceTree
 
     tree = NamespaceTree()
     try:
-        tree._parent = [int(p) for p in state["parent"]]
-        tree._name = [str(n) for n in state["name"]]
-        tree._ftype = [int(t) for t in state["ftype"]]
-        tree._depth = [int(d) for d in state["depth"]]
-        tree._alive = [bool(a) for a in state["alive"]]
-        tree._size = [int(s) for s in state["size"]]
+        n = len(state["parent"])
+        tree._parent = np.asarray([int(p) for p in state["parent"]], dtype=np.int64)
+        tree._name = [str(x) for x in state["name"]]
+        tree._ftype = np.asarray([int(t) for t in state["ftype"]], dtype=np.int8)
+        tree._depth = np.asarray([int(d) for d in state["depth"]], dtype=np.int64)
+        tree._alive = np.asarray([bool(a) for a in state["alive"]], dtype=bool)
+        tree._size = np.asarray([int(s) for s in state["size"]], dtype=np.int64)
         tree._children = [
             None if kids is None else {str(k): int(v) for k, v in kids.items()}
             for kids in state["children"]
         ]
-        tree._n_child_files = [int(c) for c in state["n_child_files"]]
-        tree._n_child_dirs = [int(c) for c in state["n_child_dirs"]]
+        tree._n_child_files = np.asarray(
+            [int(c) for c in state["n_child_files"]], dtype=np.int64
+        )
+        tree._n_child_dirs = np.asarray(
+            [int(c) for c in state["n_child_dirs"]], dtype=np.int64
+        )
+        tree._n = n
+        tree._cap = n
         tree._num_dirs = int(state["num_dirs"])
         tree._num_files = int(state["num_files"])
         tree.version = int(state["version"])
@@ -284,6 +298,11 @@ class SimCheckpoint:
             rec.count = int(lat["count"])
             rec.total = float(lat["total"])
             rec._rng.bit_generator.state = lat["rng"]
+            # absent in pre-block checkpoints: block draws are element-wise
+            # identical to scalar draws, so resuming with an empty queue from
+            # a scalar-era RNG state reproduces the same slot sequence
+            rec._slots = [int(s) for s in lat.get("pending_slots", [])]
+            rec._slot_i = 0
         except (TypeError, ValueError, KeyError) as exc:
             raise CheckpointError(f"cannot restore latency recorder: {exc}") from None
 
@@ -356,6 +375,10 @@ class Checkpointer:
             "total": rec.total,
             "reservoir": rec._res[: min(rec.count, rec._cap)].tolist(),
             "rng": rec._rng.bit_generator.state,
+            # the recorder pre-draws replacement slots in blocks, so the RNG
+            # stream runs ahead of consumption; the unconsumed tail must ride
+            # along or a restored run would skip those draws
+            "pending_slots": [int(s) for s in rec._slots[rec._slot_i :]],
         }
         cache_state: Dict[str, Any] = {
             "hits": fs.cache.hits,

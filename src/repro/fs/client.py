@@ -43,6 +43,7 @@ from repro.costmodel.optypes import (
 from repro.fs.cache import NearRootCache
 from repro.fs.faults.errors import FaultError
 from repro.sim.engine import Timeout
+from repro.sim.fastpath import run_client as fastpath_run_client
 
 __all__ = ["ClientWorker"]
 
@@ -336,6 +337,17 @@ class ClientWorker:
 
     # ----------------------------------------------------------------- loop
     def run(self) -> Generator:
+        """The client process: the flattened fast loop when the run is
+        eligible (decided once at construction — see
+        :mod:`repro.sim.fastpath`), the general loop otherwise.  Both
+        produce the bit-identical event sequence on eligible
+        configurations; the golden suite runs with the fast path forced
+        both ways to prove it."""
+        if self.fs.fastpath_engaged:
+            return fastpath_run_client(self)
+        return self._run_general()
+
+    def _run_general(self) -> Generator:
         """Closed-loop replay until the shared trace is exhausted.
 
         Per-op execution is inlined here (not a ``yield from`` into a
@@ -352,8 +364,10 @@ class ClientWorker:
         env = fs.env
         tracer = fs.obs.tracer
         tracing = tracer.enabled
-        m_ops = fs.m_ops
-        m_latency = fs.m_latency
+        # resolved children, not families: the family-level inc/observe
+        # rebuilds a label key per call (null-registry labels() is a no-op)
+        m_ops = fs.m_ops.labels()
+        m_latency = fs.m_latency.labels()
         timeline = fs.obs.timeline if fs.obs.timeline.enabled else None
         latency_record = fs.latency.record
         next_op_index = fs.next_op_index

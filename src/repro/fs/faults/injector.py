@@ -87,6 +87,12 @@ class FaultInjector:
         for server in fs.servers:
             server.attach_faults(self)
         fs.faults = self
+        # an injector installed after construction (the legacy
+        # SlowdownInjector shim) must void the fast path: engagement was
+        # decided while fs.faults was still None, and the inlined replay
+        # loop never consults the injector.  Clients dispatch on this flag
+        # at run() time, so clearing it here is sufficient.
+        fs.fastpath_engaged = False
         self.control_procs: List = []
         edges = schedule.crash_edges()
         if edges:

@@ -39,6 +39,7 @@ from repro.namespace.stats import AccessStats
 from repro.namespace.tree import NamespaceTree
 from repro.obs import NULL_OBS, Observability
 from repro.sim import DurabilityCostModel, Environment, SeedSequenceFactory
+from repro.sim import fastpath
 from repro.workloads.trace import Trace
 
 __all__ = ["SimConfig", "OrigamiFS", "run_simulation"]
@@ -88,6 +89,11 @@ class SimConfig:
     #: ``n_mds`` is the *initial* pool size and the cluster is provisioned
     #: at ``autoscale.max_mds`` capacity with the surplus parked
     autoscale: Optional[object] = None
+    #: vectorized replay fast path (repro.sim.fastpath): True/False force
+    #: it on/off, None defers to the REPRO_FASTPATH env var (default on).
+    #: Either way it only engages on configurations it reproduces
+    #: bit-identically — see fastpath.engaged for the eligibility list
+    fastpath: Optional[bool] = None
 
     def __post_init__(self):
         if self.n_mds < 1 or self.n_clients < 1:
@@ -274,6 +280,12 @@ class OrigamiFS:
         self.elastic: Optional[MDSPoolController] = None
         if autoscale is not None:
             self.elastic = MDSPoolController(self, autoscale)
+
+        #: decided once everything the eligibility check inspects is built;
+        #: clients dispatch on this flag (see repro.sim.fastpath)
+        self.fastpath_engaged = fastpath.engaged(self)
+        if self.fastpath_engaged:
+            fastpath.prepare(self)
 
         # bind the timeline last: the clock has already warped (restores) and
         # the setup-population WAL activity is behind the snapshot baseline,

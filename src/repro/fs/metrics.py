@@ -50,6 +50,9 @@ class LatencyRecorder:
     Keeps a bounded reservoir for percentiles plus exact count/mean.
     """
 
+    #: reservoir slots drawn per RNG round-trip once the reservoir is full
+    _BLOCK = 4096
+
     def __init__(self, reservoir: int = 20000, seed: int = 0):
         self._res = np.empty(reservoir, dtype=np.float64)
         self._cap = reservoir
@@ -57,13 +60,29 @@ class LatencyRecorder:
         self.total = 0.0
         self._rng = np.random.default_rng(seed)
         self._randint = self._rng.integers  # bound-method hoist (hot path)
+        # pre-drawn replacement slots: numpy's bounded-integer draw consumes
+        # the bitstream identically element-wise whether called per scalar or
+        # with a vector of bounds, so drawing a block of slots for counts
+        # [c, c+B) yields exactly the per-sample sequence — at a fraction of
+        # the per-call cost
+        self._slots: list = []
+        self._slot_i = 0
 
     def record(self, latency_ms: float) -> None:
         count = self.count
         if count < self._cap:
             self._res[count] = latency_ms
         else:
-            j = int(self._randint(0, count + 1))
+            i = self._slot_i
+            slots = self._slots
+            if i >= len(slots):
+                block = self._BLOCK
+                slots = self._slots = self._randint(
+                    0, np.arange(count + 1, count + 1 + block)
+                ).tolist()
+                i = 0
+            j = slots[i]
+            self._slot_i = i + 1
             if j < self._cap:
                 self._res[j] = latency_ms
         self.count = count + 1

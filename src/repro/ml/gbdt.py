@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.ml.tree import Binner, RegressionTree
+from repro.ml.tree import Binner, RegressionTree, apply_binned
 
 __all__ = ["GBDTRegressor"]
 
@@ -53,6 +53,10 @@ class GBDTRegressor:
         self.binner_: Optional[Binner] = None
         self.train_losses_: List[float] = []
         self.valid_losses_: List[float] = []
+        #: packed forest for batched inference: per-tree flat node arrays
+        #: with the shrinkage pre-folded into the leaf values (lazily built,
+        #: dropped on refit)
+        self._forest_: Optional[List[Tuple[np.ndarray, ...]]] = None
 
     @property
     def n_features_(self) -> int:
@@ -71,6 +75,7 @@ class GBDTRegressor:
         if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
             raise ValueError("X must be (n, f) with matching non-empty y")
         self.binner_ = Binner(self.n_bins)
+        self._forest_ = None
         binned = self.binner_.fit_transform(X)
         self.base_ = float(y.mean())
         pred = np.full(y.shape[0], self.base_)
@@ -115,13 +120,27 @@ class GBDTRegressor:
                     break
         return self
 
+    def _packed_forest(self) -> List[Tuple[np.ndarray, ...]]:
+        forest = self._forest_
+        if forest is None or len(forest) != len(self.trees_):
+            lr = self.learning_rate
+            # pre-scaling each leaf once is bit-identical to scaling every
+            # per-sample gather (same operands, one multiply per leaf instead
+            # of one per row per tree)
+            forest = self._forest_ = [
+                t.packed()[:4] + (lr * t.packed()[4],) for t in self.trees_
+            ]
+        return forest
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self.binner_ is None:
             raise RuntimeError("model not fitted")
         binned = self.binner_.transform(np.asarray(X, dtype=np.float64))
         out = np.full(binned.shape[0], self.base_)
-        for tree in self.trees_:
-            out += self.learning_rate * tree.predict_binned(binned)
+        # per-tree, in boosting order: float accumulation order is part of
+        # the model's observable output and must not change
+        for feature, threshold, left, right, scaled in self._packed_forest():
+            out += scaled[apply_binned(binned, feature, threshold, left, right)]
         return out
 
     def feature_importances(self, normalize: bool = True) -> np.ndarray:

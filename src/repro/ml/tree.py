@@ -21,7 +21,35 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Binner", "RegressionTree"]
+__all__ = ["Binner", "RegressionTree", "apply_binned"]
+
+
+def apply_binned(
+    binned: np.ndarray,
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+) -> np.ndarray:
+    """Leaf index per row for one packed tree (vectorised level walk).
+
+    Rows that settle on a leaf drop out of the active set instead of being
+    re-tested every level, so each iteration only touches rows still in
+    flight — the walk over a full forest is what every per-epoch inference
+    call pays, and candidate sets routinely reach tens of thousands of rows.
+    """
+    n = binned.shape[0]
+    node = np.zeros(n, dtype=np.int64)
+    if n == 0 or feature.shape[0] == 0 or feature[0] < 0:
+        return node  # root is a leaf (or nothing to do)
+    rows = np.arange(n)
+    while rows.size:
+        cur = node[rows]
+        f = feature[cur]
+        nxt = np.where(binned[rows, f] <= threshold[cur], left[cur], right[cur])
+        node[rows] = nxt
+        rows = rows[feature[nxt] >= 0]
+    return node
 
 
 class Binner:
@@ -94,6 +122,10 @@ class RegressionTree:
         self.value: List[float] = []
         self.n_leaves = 0
         self.feature_gain_: Optional[np.ndarray] = None
+        #: packed (feature, threshold, left, right, value) ndarray views of
+        #: the node lists, built lazily — rebuilding them per predict call
+        #: dominated forest inference
+        self._packed: Optional[Tuple[np.ndarray, ...]] = None
 
     # ------------------------------------------------------------- internals
     def _new_node(self) -> int:
@@ -158,6 +190,7 @@ class RegressionTree:
     def fit(self, binned: np.ndarray, grad: np.ndarray) -> "RegressionTree":
         binned = np.asarray(binned, dtype=np.uint8)
         grad = np.asarray(grad, dtype=np.float64)
+        self._packed = None  # node lists are about to change
         n, n_features = binned.shape
         self._n_bins = int(binned.max()) + 1 if n else 1
         self._offsets = (np.arange(n_features) * self._n_bins).astype(np.int64)
@@ -229,21 +262,22 @@ class RegressionTree:
                 break
 
     # -------------------------------------------------------------- predict
+    def packed(self) -> Tuple[np.ndarray, ...]:
+        """Node lists as flat ndarrays ``(feature, threshold, left, right,
+        value)``, cached until the next :meth:`fit`."""
+        p = self._packed
+        if p is None:
+            p = self._packed = (
+                np.asarray(self.feature, dtype=np.int64),
+                np.asarray(self.threshold, dtype=np.int64),
+                np.asarray(self.left, dtype=np.int64),
+                np.asarray(self.right, dtype=np.int64),
+                np.asarray(self.value, dtype=np.float64),
+            )
+        return p
+
     def predict_binned(self, binned: np.ndarray) -> np.ndarray:
         """Predict from pre-binned features (vectorised level walk)."""
         binned = np.asarray(binned, dtype=np.uint8)
-        n = binned.shape[0]
-        node = np.zeros(n, dtype=np.int64)
-        feature = np.asarray(self.feature)
-        threshold = np.asarray(self.threshold)
-        left = np.asarray(self.left)
-        right = np.asarray(self.right)
-        value = np.asarray(self.value)
-        active = feature[node] >= 0
-        while active.any():
-            cur = node[active]
-            f = feature[cur]
-            go_left = binned[active, f] <= threshold[cur]
-            node[active] = np.where(go_left, left[cur], right[cur])
-            active = feature[node] >= 0
-        return value[node]
+        feature, threshold, left, right, value = self.packed()
+        return value[apply_binned(binned, feature, threshold, left, right)]

@@ -50,6 +50,15 @@ class AccessStats:
         self._writes = np.zeros(cap, dtype=np.int64)
         self._lsdirs = np.zeros(cap, dtype=np.int64)
         self._epoch = 0
+        #: number of times the counter arrays were physically reallocated;
+        #: doubling keeps this O(log capacity) regardless of op count
+        self.growths = 0
+        # deferred per-epoch op buffers (the vectorised replay path appends
+        # bare dir inos here instead of incrementing counters per op); any
+        # counter read flushes them first via np.add.at
+        self._buf_reads: list = []
+        self._buf_writes: list = []
+        self._buf_lsdirs: list = []
 
     @property
     def epoch(self) -> int:
@@ -63,6 +72,22 @@ class AccessStats:
                 grown = np.zeros(new_cap, dtype=np.int64)
                 grown[: old.shape[0]] = old
                 setattr(self, attr, grown)
+            self.growths += 1
+
+    def _flush_buffers(self) -> None:
+        """Fold the deferred op buffers into the counter arrays."""
+        for buf, arrs in (
+            (self._buf_reads, ("_reads",)),
+            (self._buf_writes, ("_writes",)),
+            (self._buf_lsdirs, ("_reads", "_lsdirs")),
+        ):
+            if not buf:
+                continue
+            self._ensure(max(buf))
+            idx = np.asarray(buf, dtype=np.int64)
+            for attr in arrs:
+                np.add.at(getattr(self, attr), idx, 1)
+            buf.clear()
 
     # ------------------------------------------------------------- recording
     def record_read(self, dir_ino: int, n: int = 1) -> None:
@@ -83,6 +108,7 @@ class AccessStats:
     # -------------------------------------------------------------- snapshot
     def views(self) -> Dict[str, np.ndarray]:
         """Live (mutable) views of the counters, sized to tree capacity."""
+        self._flush_buffers()
         self._ensure(self._tree.capacity - 1)
         cap = self._tree.capacity
         return {
@@ -93,6 +119,7 @@ class AccessStats:
 
     def snapshot_and_reset(self) -> EpochSnapshot:
         """Freeze the epoch's counters, advance the epoch, zero the live ones."""
+        self._flush_buffers()
         self._ensure(self._tree.capacity - 1)
         cap = self._tree.capacity
         snap = EpochSnapshot(

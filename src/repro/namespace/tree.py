@@ -1,8 +1,9 @@
 """Array-backed hierarchical namespace tree.
 
 Inode numbers are dense non-negative integers (root = 0), so per-inode fields
-live in parallel arrays indexed by ino.  The structures every upper layer
-leans on:
+live in parallel growable numpy arrays indexed by ino (amortized-doubling
+capacity; ``capacity`` is the logical size, the physical allocation is
+``_cap``).  The structures every upper layer leans on:
 
 * ``resolve(path)`` — the component-by-component walk clients perform; the
   returned ancestor chain is what the cost model charges ``T_inode`` reads
@@ -16,11 +17,16 @@ leans on:
 Structural directory mutations (mkdir / rmdir / rename of a directory)
 invalidate the cached index; file creation only touches per-directory
 counters, so replaying file-heavy traces does not thrash the index.
+
+Scalar accessors return plain Python ints/bools (numpy scalars would leak
+into JSON exports and hash-placement arithmetic); bulk views return
+read-only zero-copy slices of the backing arrays.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+import sys
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -34,6 +40,10 @@ ROOT_INO = 0
 #: plain-int directory tag — the IntEnum→int conversion is measurable on the
 #: per-op accessor hot path (hundreds of thousands of calls per run)
 _DIR = int(FileType.DIRECTORY)
+_REGULAR = int(FileType.REGULAR)
+
+#: initial physical capacity of the per-ino arrays
+_INITIAL_CAP = 1024
 
 
 class DfsIndex:
@@ -86,16 +96,25 @@ class NamespaceTree:
     """The directory tree plus file entries; the single source of truth."""
 
     def __init__(self) -> None:
-        self._parent: List[int] = [ROOT_INO]
+        cap = _INITIAL_CAP
+        # per-ino numpy columns; [0, _n) is the logical extent, the rest is
+        # zero slack so stale reads past the end see "dead file" not garbage
+        self._parent = np.zeros(cap, dtype=np.int64)
+        self._ftype = np.zeros(cap, dtype=np.int8)
+        self._depth = np.zeros(cap, dtype=np.int64)
+        self._alive = np.zeros(cap, dtype=bool)
+        self._size = np.zeros(cap, dtype=np.int64)
+        self._n_child_files = np.zeros(cap, dtype=np.int64)
+        self._n_child_dirs = np.zeros(cap, dtype=np.int64)
+        self._cap = cap
+        self._n = 1
+        # ragged columns stay Python lists: names are interned strings (the
+        # name table), children maps exist only for directories
         self._name: List[str] = [""]
-        self._ftype: List[int] = [_DIR]
-        self._depth: List[int] = [0]
-        self._alive: List[bool] = [True]
-        self._size: List[int] = [0]
-        # children maps exist only for directories
         self._children: List[Optional[Dict[str, int]]] = [{}]
-        self._n_child_files: List[int] = [0]
-        self._n_child_dirs: List[int] = [0]
+        self._parent[ROOT_INO] = ROOT_INO
+        self._ftype[ROOT_INO] = _DIR
+        self._alive[ROOT_INO] = True
         self._num_dirs = 1
         self._num_files = 0
         self._dfs_cache: Optional[DfsIndex] = None
@@ -110,7 +129,7 @@ class NamespaceTree:
     @property
     def capacity(self) -> int:
         """One past the largest ino ever allocated (array sizing)."""
-        return len(self._parent)
+        return self._n
 
     @property
     def num_dirs(self) -> int:
@@ -125,24 +144,20 @@ class NamespaceTree:
     # is_dir / parent / depth / resolve each fire hundreds of thousands of
     # times per run; a _check() call per access doubles their cost).
     def is_alive(self, ino: int) -> bool:
-        alive = self._alive
-        return 0 <= ino < len(alive) and alive[ino]
+        return 0 <= ino < self._n and bool(self._alive[ino])
 
     def _check(self, ino: int) -> None:
-        alive = self._alive
-        if not (0 <= ino < len(alive) and alive[ino]):
+        if not (0 <= ino < self._n and self._alive[ino]):
             raise KeyError(f"ino {ino} does not exist")
 
     def is_dir(self, ino: int) -> bool:
-        alive = self._alive
-        if 0 <= ino < len(alive) and alive[ino]:
-            return self._ftype[ino] == _DIR
+        if 0 <= ino < self._n and self._alive[ino]:
+            return bool(self._ftype[ino] == _DIR)
         raise KeyError(f"ino {ino} does not exist")
 
     def parent(self, ino: int) -> int:
-        alive = self._alive
-        if 0 <= ino < len(alive) and alive[ino]:
-            return self._parent[ino]
+        if 0 <= ino < self._n and self._alive[ino]:
+            return int(self._parent[ino])
         raise KeyError(f"ino {ino} does not exist")
 
     def name(self, ino: int) -> str:
@@ -150,18 +165,17 @@ class NamespaceTree:
         return self._name[ino]
 
     def depth(self, ino: int) -> int:
-        alive = self._alive
-        if 0 <= ino < len(alive) and alive[ino]:
-            return self._depth[ino]
+        if 0 <= ino < self._n and self._alive[ino]:
+            return int(self._depth[ino])
         raise KeyError(f"ino {ino} does not exist")
 
     def n_child_files(self, ino: int) -> int:
         self._check_dir(ino)
-        return self._n_child_files[ino]
+        return int(self._n_child_files[ino])
 
     def n_child_dirs(self, ino: int) -> int:
         self._check_dir(ino)
-        return self._n_child_dirs[ino]
+        return int(self._n_child_dirs[ino])
 
     def children(self, ino: int) -> Dict[str, int]:
         self._check_dir(ino)
@@ -172,11 +186,11 @@ class NamespaceTree:
         self._check(ino)
         return Inode(
             ino=ino,
-            parent=self._parent[ino],
+            parent=int(self._parent[ino]),
             name=self._name[ino],
-            ftype=FileType(self._ftype[ino]),
-            depth=self._depth[ino],
-            size=self._size[ino],
+            ftype=FileType(int(self._ftype[ino])),
+            depth=int(self._depth[ino]),
+            size=int(self._size[ino]),
         )
 
     def _check_dir(self, ino: int) -> None:
@@ -185,45 +199,71 @@ class NamespaceTree:
             raise NotADirectoryError(f"ino {ino} ({self.path_of(ino)}) is not a directory")
 
     # ------------------------------------------------------------- mutations
-    def _alloc(self, parent: int, name: str, ftype: FileType) -> int:
-        self._check_dir(parent)
+    def _grow(self) -> None:
+        """Double the physical capacity of every per-ino column."""
+        new_cap = self._cap * 2
+        for attr in (
+            "_parent",
+            "_ftype",
+            "_depth",
+            "_alive",
+            "_size",
+            "_n_child_files",
+            "_n_child_dirs",
+        ):
+            old = getattr(self, attr)
+            grown = np.zeros(new_cap, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, attr, grown)
+        self._cap = new_cap
+
+    def _alloc(self, parent: int, name: str, ftype: int) -> int:
+        # _check_dir is inlined: a million-entity build (and a write-heavy
+        # replay) calls this once per created entity
+        if not (0 <= parent < self._n and self._alive[parent]):
+            raise KeyError(f"ino {parent} does not exist")
+        if self._ftype[parent] != _DIR:
+            raise NotADirectoryError(
+                f"ino {parent} ({self.path_of(parent)}) is not a directory"
+            )
         if not name or "/" in name:
             raise ValueError(f"invalid entry name {name!r}")
         kids = self._children[parent]
-        assert kids is not None
         if name in kids:
             raise FileExistsError(f"{self.path_of(parent)}/{name} already exists")
-        ino = len(self._parent)
-        self._parent.append(parent)
-        self._name.append(name)
-        self._ftype.append(int(ftype))
-        self._depth.append(self._depth[parent] + 1)
-        self._alive.append(True)
-        self._size.append(0)
+        ino = self._n
+        if ino == self._cap:
+            self._grow()
+        self._parent[ino] = parent
+        self._name.append(sys.intern(name))
+        self._depth[ino] = self._depth[parent] + 1
+        self._alive[ino] = True
+        # _size and the child counters keep the column's zero slack: inos are
+        # never reused, so the slot is guaranteed fresh
+        self._n = ino + 1
         kids[name] = ino
-        if ftype == FileType.DIRECTORY:
+        if ftype == _DIR:
+            self._ftype[ino] = _DIR
             self._children.append({})
-            self._n_child_files.append(0)
-            self._n_child_dirs.append(0)
             self._n_child_dirs[parent] += 1
             self._num_dirs += 1
             self._invalidate()
         else:
+            self._ftype[ino] = ftype
             self._children.append(None)
-            self._n_child_files.append(0)
-            self._n_child_dirs.append(0)
             self._n_child_files[parent] += 1
             self._num_files += 1
         return ino
 
     def create_dir(self, parent: int, name: str) -> int:
         """mkdir: create a directory under ``parent``; returns the new ino."""
-        return self._alloc(parent, name, FileType.DIRECTORY)
+        return self._alloc(parent, name, _DIR)
 
     def create_file(self, parent: int, name: str, size: int = 0) -> int:
         """create: add a regular file under ``parent``; returns the new ino."""
-        ino = self._alloc(parent, name, FileType.REGULAR)
-        self._size[ino] = size
+        ino = self._alloc(parent, name, _REGULAR)
+        if size:
+            self._size[ino] = size
         return ino
 
     def makedirs(self, path: str) -> int:
@@ -251,7 +291,7 @@ class NamespaceTree:
             assert kids is not None
             if kids:
                 raise OSError(f"directory not empty: {self.path_of(ino)}")
-        parent = self._parent[ino]
+        parent = int(self._parent[ino])
         pk = self._children[parent]
         assert pk is not None
         del pk[self._name[ino]]
@@ -277,20 +317,20 @@ class NamespaceTree:
             while cur != ROOT_INO:
                 if cur == ino:
                     raise ValueError("cannot move a directory into its own subtree")
-                cur = self._parent[cur]
+                cur = int(self._parent[cur])
             if new_parent == ino:
                 raise ValueError("cannot move a directory into itself")
         dest_kids = self._children[new_parent]
         assert dest_kids is not None
         if new_name in dest_kids:
             raise FileExistsError(f"{self.path_of(new_parent)}/{new_name} already exists")
-        old_parent = self._parent[ino]
+        old_parent = int(self._parent[ino])
         src_kids = self._children[old_parent]
         assert src_kids is not None
         del src_kids[self._name[ino]]
         dest_kids[new_name] = ino
         self._parent[ino] = new_parent
-        self._name[ino] = new_name
+        self._name[ino] = sys.intern(new_name)
         if self._ftype[ino] == _DIR:
             self._n_child_dirs[old_parent] -= 1
             self._n_child_dirs[new_parent] += 1
@@ -344,7 +384,7 @@ class NamespaceTree:
         cur = ino
         while cur:
             append(cur)
-            cur = parent[cur]
+            cur = int(parent[cur])
         append(ROOT_INO)
         chain.reverse()
         return chain
@@ -357,28 +397,29 @@ class NamespaceTree:
         cur = ino
         while cur != ROOT_INO:
             parts.append(self._name[cur])
-            cur = self._parent[cur]
+            cur = int(self._parent[cur])
         return "/" + "/".join(reversed(parts))
 
     def ancestors(self, ino: int) -> Iterator[int]:
         """Yield proper ancestors of ``ino``, nearest first, ending at root."""
         self._check(ino)
-        cur = self._parent[ino]
+        cur = int(self._parent[ino])
         while True:
             yield cur
             if cur == ROOT_INO:
                 return
-            cur = self._parent[cur]
+            cur = int(self._parent[cur])
 
     def iter_dirs(self) -> Iterator[int]:
         """All live directory inos (ascending ino order)."""
-        for ino in range(len(self._parent)):
-            if self._alive[ino] and self._ftype[ino] == _DIR:
-                yield ino
+        n = self._n
+        mask = self._alive[:n] & (self._ftype[:n] == _DIR)
+        yield from np.nonzero(mask)[0].tolist()
 
     def iter_subtree_dirs(self, root: int) -> Iterator[int]:
         """Directories in ``root``'s subtree, preorder (root first)."""
         self._check_dir(root)
+        ftype = self._ftype
         stack = [root]
         while stack:
             ino = stack.pop()
@@ -386,7 +427,7 @@ class NamespaceTree:
             kids = self._children[ino]
             assert kids is not None
             for child in kids.values():
-                if self._ftype[child] == _DIR:
+                if ftype[child] == _DIR:
                     stack.append(child)
 
     # ------------------------------------------------------------ bulk views
@@ -397,50 +438,82 @@ class NamespaceTree:
         return self._dfs_cache
 
     def _build_dfs(self) -> DfsIndex:
-        n = len(self._parent)
+        n = self._n
         tin = np.full(n, -1, dtype=np.int64)
         tout = np.full(n, -1, dtype=np.int64)
         order = np.empty(self._num_dirs, dtype=np.int64)
+        # vectorised child-list construction: every live non-root directory,
+        # grouped by parent with names in ascending order (numpy '<U'
+        # comparison is code-point order, identical to Python's str order)
+        live_dir = self._alive[:n] & (self._ftype[:n] == _DIR)
+        dirs = np.nonzero(live_dir)[0]
+        nonroot = dirs[dirs != ROOT_INO]
+        parents = self._parent[nonroot]
+        names = np.array([self._name[i] for i in nonroot.tolist()], dtype=str)
+        grouped = np.lexsort((names, parents))
+        sorted_children = nonroot[grouped].tolist()
+        sorted_parents = parents[grouped]
+        cstart = np.searchsorted(sorted_parents, dirs, side="left")
+        cend = np.searchsorted(sorted_parents, dirs, side="right")
+        # CSR slice bounds indexed by ino
+        start_of = np.zeros(n, dtype=np.int64)
+        end_of = np.zeros(n, dtype=np.int64)
+        start_of[dirs] = cstart
+        end_of[dirs] = cend
+        start_l = start_of.tolist()
+        end_l = end_of.tolist()
+        order_l: List[int] = []
         pos = 0
-        # iterative preorder with explicit post hooks for tout
-        stack: List[Tuple[int, bool]] = [(ROOT_INO, False)]
+        # preorder: pop smallest-name child first (slices are name-ascending,
+        # so push each reversed)
+        stack = [ROOT_INO]
         while stack:
-            ino, done = stack.pop()
-            if done:
-                tout[ino] = pos
-                continue
-            order[pos] = ino
-            tin[ino] = pos
+            ino = stack.pop()
+            order_l.append(ino)
             pos += 1
-            stack.append((ino, True))
-            kids = self._children[ino]
-            assert kids is not None
-            # deterministic order: sorted child names
-            for name in sorted(kids, reverse=True):
-                child = kids[name]
-                if self._ftype[child] == _DIR:
-                    stack.append((child, False))
+            lo = start_l[ino]
+            hi = end_l[ino]
+            if lo != hi:
+                kids = sorted_children[lo:hi]
+                kids.reverse()
+                stack.extend(kids)
         assert pos == self._num_dirs
+        order[:] = order_l
+        tin[order] = np.arange(pos, dtype=np.int64)
+        # tout = tin + subtree size; in reverse preorder every child is seen
+        # before its parent, so one backward accumulation folds sizes upward
+        sizes = [1] * pos
+        parent_pos = tin[self._parent[order]].tolist()
+        for i in range(pos - 1, 0, -1):
+            sizes[parent_pos[i]] += sizes[i]
+        tout[order] = tin[order] + np.asarray(sizes, dtype=np.int64)
         return DfsIndex(order, tin, tout)
 
+    def _view(self, arr: np.ndarray) -> np.ndarray:
+        view = arr[: self._n]
+        view.flags.writeable = False
+        return view
+
     def depth_array(self) -> np.ndarray:
-        """Depths indexed by ino (dead inodes included; check liveness separately)."""
-        return np.asarray(self._depth, dtype=np.int64)
+        """Depths indexed by ino (dead inodes included; check liveness separately).
+
+        Zero-copy read-only view; copy before mutating.
+        """
+        return self._view(self._depth)
 
     def parent_array(self) -> np.ndarray:
-        return np.asarray(self._parent, dtype=np.int64)
+        return self._view(self._parent)
 
     def child_file_counts(self) -> np.ndarray:
-        return np.asarray(self._n_child_files, dtype=np.int64)
+        return self._view(self._n_child_files)
 
     def child_dir_counts(self) -> np.ndarray:
-        return np.asarray(self._n_child_dirs, dtype=np.int64)
+        return self._view(self._n_child_dirs)
 
     def dir_mask(self) -> np.ndarray:
-        """Boolean array indexed by ino: live directory?"""
-        ft = np.asarray(self._ftype, dtype=np.int64)
-        alive = np.asarray(self._alive, dtype=bool)
-        return alive & (ft == _DIR)
+        """Boolean array indexed by ino: live directory?  (Fresh, writable.)"""
+        n = self._n
+        return self._alive[:n] & (self._ftype[:n] == _DIR)
 
     # ------------------------------------------------------------- utilities
     def owning_dir(self, ino: int) -> int:
@@ -448,13 +521,14 @@ class NamespaceTree:
         self._check(ino)
         if self._ftype[ino] == _DIR:
             return ino
-        return self._parent[ino]
+        return int(self._parent[ino])
 
     def validate(self) -> None:
         """Internal consistency check (tests and failure-injection hooks)."""
         n_dirs = 0
         n_files = 0
-        for ino in range(len(self._parent)):
+        assert len(self._name) == self._n and len(self._children) == self._n
+        for ino in range(self._n):
             if not self._alive[ino]:
                 continue
             if self._ftype[ino] == _DIR:

@@ -32,6 +32,9 @@ URGENT = 0
 _NORMAL_KEY = NORMAL << 62
 _URGENT_KEY = URGENT << 62
 
+#: lazily bound Process class (circular import; see Environment.process)
+_Process = None
+
 
 class Interrupt(Exception):
     """Thrown into a process that another process interrupted.
@@ -271,9 +274,13 @@ class Environment:
         return AnyOf(self, events)
 
     def process(self, generator) -> "Process":
-        from repro.sim.process import Process
-
-        return Process(self, generator)
+        # late import (circular: process.py imports engine.py), cached in a
+        # module global — spawning 10^5 clients pays the sys.modules lookup
+        # per call otherwise
+        global _Process
+        if _Process is None:
+            from repro.sim.process import Process as _Process
+        return _Process(self, generator)
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
@@ -347,12 +354,14 @@ class Environment:
         queue = self._queue
         pop = heappop
         count = self._event_count
+        # the collector is attached before the run and never swapped mid-run,
+        # so it can be bound once outside the loop
+        tl = self.timeline
         try:
             if until is None:
                 while queue:
                     t, _key, event = pop(queue)
                     self._now = t
-                    tl = self.timeline
                     if tl is not None and t >= tl.window_end_ms:
                         self._event_count = count
                         tl.advance(t)
@@ -360,9 +369,10 @@ class Environment:
                     callbacks = event.callbacks
                     event.callbacks = None
                     event._processed = True
-                    for cb in callbacks:
-                        cb(event)
-                    if not event._ok and not callbacks:
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                    elif not event._ok:
                         raise event._value
             else:
                 while queue:
@@ -371,7 +381,6 @@ class Environment:
                         return
                     t, _key, event = pop(queue)
                     self._now = t
-                    tl = self.timeline
                     if tl is not None and t >= tl.window_end_ms:
                         self._event_count = count
                         tl.advance(t)
@@ -379,9 +388,10 @@ class Environment:
                     callbacks = event.callbacks
                     event.callbacks = None
                     event._processed = True
-                    for cb in callbacks:
-                        cb(event)
-                    if not event._ok and not callbacks:
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                    elif not event._ok:
                         raise event._value
         except StopSimulation:
             return

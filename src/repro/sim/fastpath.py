@@ -1,0 +1,398 @@
+"""Vectorized replay fast path for deterministic million-entity runs.
+
+The general client loop (:meth:`repro.fs.client.ClientWorker._run_general`)
+pays, per op, a delegation chain of generator frames (``run`` →
+``_attempt`` → ``server.service``), a partition-map ``_sync`` probe, a
+fresh cost computation, and three per-op counter-array writes.  None of
+that is necessary on the overwhelmingly common configuration — no faults,
+no tracer, no datapath, no durability, near-root cache, constant RTT,
+fixed pool — where every one of those steps is a pure function of state
+that only changes at coarse boundaries.
+
+:func:`run_client` is a drop-in replacement generator for that
+configuration.  It produces the **bit-identical event sequence**: the same
+``Timeout``/request events in the same order with the same float service
+times, and the same counter mutations at every event boundary (the
+windowed timeline flushes between events, so counters must be correct not
+just at epoch ends).  The speed comes from:
+
+* **flattened execution** — ``_attempt`` and ``MdsServer.service`` are
+  inlined into the loop body, so each engine resume re-enters exactly one
+  frame instead of walking a delegation chain;
+* **batched op planning** — per ``(dir_ino, lsdir?)`` the RPC schedule is
+  compiled once per stable ``(pmap.dir_version, tree.version)`` window
+  into ``(server, resource, svc_base, is_primary)`` steps with the
+  ``T_inode``/``T_rpc`` arithmetic pre-folded (floats are reproduced
+  exactly: ``svc_base + t_exec`` performs the identical final addition the
+  general path performs); cache hit/miss deltas are replayed per use, as
+  the memoised slow plan already does;
+* **vectorised per-trace precompute** — op categories and ``T_exec``
+  lookups are resolved for the whole trace in two numpy gathers at
+  construction instead of per op per worker;
+* **deferred stats** — per-directory access counts append a bare ino to
+  :class:`~repro.namespace.stats.AccessStats` buffers; epoch readers fold
+  them with one ``np.add.at`` (nothing reads those counters mid-epoch);
+* **deferred owner syncs** — the general path resyncs the partition map
+  every op via ``owner_array()``; the fast path consults the map only
+  when planning, listing (``lsdir_owners`` syncs internally) or resolving
+  a split partner.  The fill is deterministic and order-independent, so
+  deferral cannot change any owner the run observes.
+
+Eligibility is decided once per run (:func:`engaged`); anything the fast
+loop cannot reproduce bit-for-bit (faults, tracing spans, lease caches,
+RTT jitter, kvstore, durability drains, data path, elastic pools) falls
+back to the general loop.  The switch: ``SimConfig.fastpath`` when set,
+else the ``REPRO_FASTPATH`` environment variable (default on; ``0``,
+``false``, ``off``, ``no`` disable — CI runs the golden suite both ways).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Generator
+
+import numpy as np
+
+from repro.costmodel.optypes import (
+    CATEGORY_LSDIR,
+    CATEGORY_NSMUT,
+    CATEGORY_TUPLE,
+    OpType,
+)
+from repro.fs.cache import NearRootCache
+from repro.namespace.tree import _DIR
+from repro.sim.engine import Timeout
+
+__all__ = ["enabled_from_env", "engaged", "prepare", "run_client"]
+
+_MKDIR = int(OpType.MKDIR)
+_RMDIR = int(OpType.RMDIR)
+_RENAME = int(OpType.RENAME)
+_CREATE = int(OpType.CREATE)
+_UNLINK = int(OpType.UNLINK)
+
+_OFF_VALUES = ("0", "false", "off", "no")
+
+
+def enabled_from_env() -> bool:
+    """The ``REPRO_FASTPATH`` switch (default: enabled)."""
+    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _OFF_VALUES
+
+
+def engaged(fs) -> bool:
+    """Decide once, at construction, whether this run takes the fast path.
+
+    Every condition gates a feature the fast loop does not replicate; the
+    check is intentionally conservative — a ``False`` costs nothing but
+    speed.
+    """
+    cfg = fs.config
+    want = cfg.fastpath if cfg.fastpath is not None else enabled_from_env()
+    if not want:
+        return False
+    return (
+        fs.faults is None
+        and not fs.obs.tracer.enabled
+        and fs.datapath is None
+        and not fs.use_kvstore
+        and fs.durability is None
+        and fs.cache.__class__ is NearRootCache
+        and fs._rtt_const is not None
+        and fs.elastic is None
+    )
+
+
+def prepare(fs) -> None:
+    """Whole-trace precompute + the shared fast-plan cache (on the fs).
+
+    Everything a client generator needs is packed into one tuple
+    (``fs._fast_shared``) so the generator prologue is a single unpack:
+    with ``n_clients`` in the hundred-thousands the per-client attribute
+    walk is itself a measurable slice of the run.
+    """
+    ops = fs.trace.op
+    fs._fast_cats = np.asarray(CATEGORY_TUPLE, dtype=np.int64)[ops].tolist()
+    fs._fast_texec = np.asarray(fs.params.t_exec_table, dtype=np.float64)[ops].tolist()
+    #: compiled RPC schedules keyed ``dir_ino << 1 | lsdir?``, valid for one
+    #: (pmap.dir_version, tree.version) window — same stamp discipline as
+    #: fs._plan_cache, shared by every worker
+    fs._fast_plans = {}
+    fs._fast_dv = -1
+    fs._fast_tv = -1
+    params = fs.params
+    timeline = fs.obs.timeline if fs.obs.timeline.enabled else None
+    pmap = fs.pmap
+    fs._fast_shared = (
+        fs.env,
+        fs.tree,
+        pmap,
+        fs.cache,
+        fs.servers,
+        params.t_inode,
+        params.t_rpc,
+        params.t_coor,
+        fs._rtt_const,
+        # pre-resolved metric children: the family-level inc/observe pays a
+        # label-key construction per call (the null registry's labels() is
+        # a self-returning no-op, so this is safe either way)
+        fs.m_ops.labels().inc,
+        fs.m_latency.labels().observe,
+        timeline.record_op if timeline is not None else None,
+        fs.latency.record,
+        fs._ops,
+        fs._dir_inos,
+        fs._aux,
+        fs._op_names,
+        fs._think,
+        fs._fast_cats,
+        fs._fast_texec,
+        fs._fast_plans,
+        fs._plan_cache,
+        fs.stats._buf_reads.append,
+        fs.stats._buf_writes.append,
+        fs.stats._buf_lsdirs.append,
+        # placement shortcuts: with the default colocated/subtree placements
+        # the split partner of file ops (and mkdir) is the primary → None
+        pmap.file_placement is None,
+        pmap.placement is None,
+        len(fs.trace),
+    )
+
+
+def run_client(worker) -> Generator:
+    """The flattened closed-loop client (see module docstring).
+
+    Structured as one generator so every engine resume re-enters a single
+    frame.  The body mirrors ``ClientWorker._run_general`` +
+    ``ClientWorker._attempt`` + ``MdsServer.service`` with the
+    span/fault/durability branches removed — when editing either side,
+    keep the event order and counter grouping in lockstep (the golden
+    suite and the fastpath parity test enforce it).
+    """
+    fs = worker.fs
+    (
+        env,
+        tree,
+        pmap,
+        cache,
+        servers,
+        t_inode,
+        t_rpc,
+        t_coor,
+        rtt,
+        m_ops_inc,
+        m_latency_observe,
+        timeline_record,
+        latency_record,
+        ops,
+        dir_inos,
+        auxs,
+        names,
+        thinks,
+        cats,
+        texecs,
+        fast_plans,
+        plan_cache,
+        buf_read,
+        buf_write,
+        buf_lsdir,
+        colocated_files,
+        subtree_dirs,
+        n_ops,
+    ) = fs._fast_shared
+    TO = Timeout
+    # completion totals nothing reads mid-run (the windowed timeline reads
+    # per-server and cache counters only, the epoch driver reads fs.cursor)
+    # accumulate locally and flush when this client drains — the run always
+    # waits for every client, so the flush is unconditional
+    my_rpcs = 0
+    my_ops = 0
+    last_now = 0.0
+
+    while True:
+        i = fs.cursor
+        if i >= n_ops:
+            fs.replay_done = True
+            break
+        fs.cursor = i + 1
+        op = ops[i]
+        dir_ino = dir_inos[i]
+        if thinks is not None:
+            t = thinks[i]
+            if t > 0.0:
+                yield TO(env, t)
+        # inline _mark_vanished_if_dead: arrays re-fetched per op because
+        # growth reallocates them (slack beyond _n is zeroed = dead file)
+        if not (tree._alive[dir_ino] and tree._ftype[dir_ino] == _DIR):
+            fs.failed_ops += 1
+            fs.vanished_ops += 1
+            latency = 0.0
+        else:
+            start = env._now
+            cat = cats[i]
+            is_lsdir = cat == CATEGORY_LSDIR
+            dv = pmap.dir_version
+            tv = tree.version
+            if dv != fs._fast_dv or tv != fs._fast_tv:
+                fast_plans.clear()
+                fs._fast_dv = dv
+                fs._fast_tv = tv
+                entry = None
+            else:
+                entry = fast_plans.get((dir_ino << 1) | is_lsdir)
+            if entry is None:
+                # the memoised slow planner replays (or freshly counts) the
+                # cache hit/miss deltas and leaves its entry behind; compile
+                # its visits into direct steps with the per-visit server
+                # methods (request/release/counter incs) pre-bound
+                visits, primary = worker._plan(op, dir_ino, None)
+                n_hits, n_misses = plan_cache[(dir_ino, is_lsdir)][2:]
+                steps = []
+                for mds, n_reads in visits:
+                    sv = servers[mds]
+                    res = sv.resource
+                    steps.append(
+                        (
+                            sv,
+                            res.request,
+                            res.release,
+                            sv._m_rpcs.inc,
+                            sv._m_busy.inc,
+                            t_inode * (n_reads + 1) + t_rpc,
+                            mds == primary,
+                        )
+                    )
+                steps = tuple(steps)
+                pserver = servers[primary]
+                pres = pserver.resource
+                p_requests_inc = pserver._m_requests.inc
+                p_request = pres.request
+                p_release = pres.release
+                p_busy_inc = pserver._m_busy.inc
+                fast_plans[(dir_ino << 1) | is_lsdir] = (
+                    steps,
+                    pserver,
+                    primary,
+                    n_hits,
+                    n_misses,
+                    p_requests_inc,
+                    p_request,
+                    p_release,
+                    p_busy_inc,
+                )
+            else:
+                (
+                    steps,
+                    pserver,
+                    primary,
+                    n_hits,
+                    n_misses,
+                    p_requests_inc,
+                    p_request,
+                    p_release,
+                    p_busy_inc,
+                ) = entry
+                cache.hits += n_hits
+                cache.misses += n_misses
+            t_exec = texecs[i]
+            pserver.epoch_qps += 1
+            pserver.total_requests += 1
+            p_requests_inc()
+            for server, request, release, rpcs_inc, busy_inc, svc_base, isp in steps:
+                server.epoch_rpcs += 1
+                server.total_rpcs += 1
+                rpcs_inc()
+                my_rpcs += 1
+                yield TO(env, rtt)
+                svc = svc_base + t_exec if isp else svc_base
+                req = request()
+                try:
+                    yield req
+                    if svc > 0:
+                        yield TO(env, svc)
+                    server.epoch_busy_ms += svc
+                    server.total_busy_ms += svc
+                    busy_inc(svc)
+                finally:
+                    release(req)
+            if is_lsdir:
+                # lsdir_owners cannot be folded into the plan entry: file
+                # creates change it without moving either stamp component
+                for o in sorted(pmap.lsdir_owners(dir_ino)):
+                    oserver = servers[o]
+                    ores = oserver.resource
+                    oserver.epoch_rpcs += 1
+                    oserver.total_rpcs += 1
+                    oserver._m_rpcs.inc()
+                    my_rpcs += 1
+                    yield TO(env, rtt)
+                    req = ores.request()
+                    try:
+                        yield req
+                        if t_rpc > 0:
+                            yield TO(env, t_rpc)
+                        oserver.epoch_busy_ms += t_rpc
+                        oserver.total_busy_ms += t_rpc
+                        oserver._m_busy.inc(t_rpc)
+                    finally:
+                        ores.release(req)
+                buf_lsdir(dir_ino)
+            elif cat == CATEGORY_NSMUT:
+                # near-root cache: recall_if_leased is always 0 → skipped
+                partner = None
+                if op == _CREATE or op == _UNLINK or (op == _RENAME and auxs[i] < 0):
+                    if not colocated_files:
+                        partner = worker._split_partner(
+                            op, dir_ino, names[i] if names is not None else "", auxs[i]
+                        )
+                elif op == _MKDIR:
+                    if not subtree_dirs:
+                        o = pmap.new_dir_owner(
+                            dir_ino, names[i] if names is not None else ""
+                        )
+                        if o != primary:
+                            partner = o
+                else:  # RMDIR / dir RENAME carry the target dir in aux
+                    aux = auxs[i]
+                    if aux >= 0 and tree._alive[aux]:
+                        o = int(pmap.owner_array()[aux])
+                        if o >= 0 and o != primary:
+                            partner = o
+                if partner is not None:
+                    xserver = servers[partner]
+                    xserver.epoch_rpcs += 1
+                    xserver.total_rpcs += 1
+                    xserver._m_rpcs.inc()
+                    my_rpcs += 1
+                    # the coordination RTT is already inside T_coor: the
+                    # general path yields no network hop here either
+                    req = p_request()
+                    try:
+                        yield req
+                        if t_coor > 0:
+                            yield TO(env, t_coor)
+                        pserver.epoch_busy_ms += t_coor
+                        pserver.total_busy_ms += t_coor
+                        p_busy_inc(t_coor)
+                    finally:
+                        p_release(req)
+                worker._apply_mutation(
+                    op, dir_ino, names[i] if names is not None else "", auxs[i], None
+                )
+                buf_write(dir_ino)
+            else:
+                buf_read(dir_ino)
+            last_now = now = env._now
+            latency = now - start
+            my_ops += 1
+        latency_record(latency)
+        m_ops_inc()
+        m_latency_observe(latency)
+        if timeline_record is not None:
+            timeline_record(latency)
+
+    fs.total_rpcs += my_rpcs
+    fs.ops_completed += my_ops
+    worker.ops_done += my_ops
+    if last_now > fs.last_completion_ms:
+        fs.last_completion_ms = last_now

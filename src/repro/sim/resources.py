@@ -14,9 +14,10 @@ These model the contended components of the metadata cluster:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Optional
 
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, _NORMAL_KEY
 
 __all__ = ["Resource", "Store", "FifoQueue"]
 
@@ -76,7 +77,16 @@ class Resource:
         if len(users) < self.capacity:
             users.add(req)
             self.total_grants += 1
-            req.succeed()
+            # inlined req.succeed(None): grants dominate the hot path and the
+            # request is born untriggered, so the state guard is dead weight
+            req._value = None
+            req._triggered = True
+            env = self.env
+            env._seq = seq = env._seq + 1
+            queue = env._queue
+            heappush(queue, (env._now, _NORMAL_KEY | seq, req))
+            if len(queue) > env._peak_queue:
+                env._peak_queue = len(queue)
         else:
             waiters = self.waiters
             waiters.append(req)
@@ -87,14 +97,13 @@ class Resource:
 
     def release(self, req: _Request) -> None:
         users = self.users
-        if req in users:
-            users.discard(req)
-        elif req in self._wait_started:
-            # Released while still queued (cancelled request).
-            self.waiters.remove(req)
-            del self._wait_started[req]
-            return
-        else:
+        try:
+            users.remove(req)
+        except KeyError:
+            if req in self._wait_started:
+                # Released while still queued (cancelled request).
+                self.waiters.remove(req)
+                del self._wait_started[req]
             return
         waiters = self.waiters
         while waiters and len(users) < self.capacity:

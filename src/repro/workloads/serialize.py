@@ -37,13 +37,13 @@ def save_bundle(path: str, tree: NamespaceTree, trace: Optional[Trace] = None) -
         "trace_has_names": trace is not None and trace.names is not None,
         "trace_has_think": trace is not None and trace.think_ms is not None,
     }
-    cap = tree.capacity
+    cap = tree.capacity  # logical extent; physical arrays carry slack beyond it
     arrays = {
         "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
-        "parent": tree.parent_array(),
-        "ftype": np.asarray(tree._ftype, dtype=np.int8),
-        "alive": np.asarray(tree._alive, dtype=bool),
-        "size": np.asarray(tree._size, dtype=np.int64),
+        "parent": np.asarray(tree._parent[:cap], dtype=np.int64),
+        "ftype": np.asarray(tree._ftype[:cap], dtype=np.int8),
+        "alive": np.asarray(tree._alive[:cap], dtype=bool),
+        "size": np.asarray(tree._size[:cap], dtype=np.int64),
         "names": np.frombuffer(_SEP.join(tree._name).encode("utf-8"), dtype=np.uint8),
     }
     if trace is not None:

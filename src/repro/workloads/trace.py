@@ -102,29 +102,42 @@ class Trace:
             yield e, self[start : start + ops_per_epoch]
 
     def concat(self, other: "Trace") -> "Trace":
+        return Trace.concat_many([self, other])
+
+    @staticmethod
+    def concat_many(traces: Sequence["Trace"]) -> "Trace":
+        """Concatenate any number of traces with one allocation per column.
+
+        Chained pairwise ``concat`` copies every earlier column again for
+        each appended trace — O(k²) bytes for k pieces; this is the O(k)
+        version composite scenario builders should use.  Column semantics
+        match ``concat``: names survive only when every piece carries them,
+        and a think column on *any* piece zero-fills the pieces without one.
+        """
+        traces = list(traces)
+        if not traces:
+            raise ValueError("concat_many needs at least one trace")
         names = None
-        if self.names is not None and other.names is not None:
-            names = self.names + other.names
+        if all(t.names is not None for t in traces):
+            names = [n for t in traces for n in t.names]
         think = None
-        if self.think_ms is not None or other.think_ms is not None:
-            # one side missing the column means "no think time": zero-fill
-            a = (
-                self.think_ms
-                if self.think_ms is not None
-                else np.zeros(len(self), dtype=np.float64)
+        if any(t.think_ms is not None for t in traces):
+            # a piece missing the column means "no think time": zero-fill
+            think = np.concatenate(
+                [
+                    t.think_ms
+                    if t.think_ms is not None
+                    else np.zeros(len(t), dtype=np.float64)
+                    for t in traces
+                ]
             )
-            b = (
-                other.think_ms
-                if other.think_ms is not None
-                else np.zeros(len(other), dtype=np.float64)
-            )
-            think = np.concatenate([a, b])
+        label = next((t.label for t in traces if t.label), "")
         return Trace(
-            np.concatenate([self.op, other.op]),
-            np.concatenate([self.dir_ino, other.dir_ino]),
-            np.concatenate([self.aux, other.aux]),
+            np.concatenate([t.op for t in traces]),
+            np.concatenate([t.dir_ino for t in traces]),
+            np.concatenate([t.aux for t in traces]),
             names,
-            self.label or other.label,
+            label,
             think,
         )
 

@@ -64,6 +64,20 @@ def test_factor_window():
     assert inj.factor_for(0, 15.0) == 1.0
 
 
+def test_late_injector_install_disengages_fastpath():
+    """An injector attached after construction must void the fast path.
+
+    ``OrigamiFS`` decides fast-path engagement in ``__init__`` while
+    ``fs.faults`` is still None; the inlined replay loop never consults a
+    later-installed injector, so installation has to clear the flag."""
+    built, trace = generate_trace_rw(SeedSequenceFactory(0).stream("w"), n_ops=200)
+    fs = OrigamiFS(built.tree, trace, LunulePolicy(), SimConfig(n_mds=2, n_clients=2))
+    assert fs.fastpath_engaged, "eligible healthy config should engage"
+    with pytest.warns(DeprecationWarning):
+        SlowdownInjector(fs, [Slowdown(mds=0, start_ms=0, end_ms=1e9, factor=2.0)])
+    assert not fs.fastpath_engaged, "late fault install must force the general loop"
+
+
 def test_slowdown_degrades_static_partitioning():
     """A static hash cannot escape a degraded MDS: throughput must drop."""
     healthy = run_with_faults(CoarseHashPolicy(), [], seed=4)

@@ -166,7 +166,64 @@ def test_distinct_seeds_produce_distinct_traces(seed_a, seed_b):
 
 
 # --------------------------------------------------------------------------
-# 3. ordering invariants of the packed-key scheduler
+# 3. fast path vs general loop: forced-off parity
+# --------------------------------------------------------------------------
+def _eligible_replay(kind: str, seed: int, fastpath: bool):
+    """One fastpath-eligible run (no tracer/faults/durability), both modes."""
+    from repro.balancers import LunulePolicy
+    from repro.costmodel import CostParams
+    from repro.fs import SimConfig
+    from repro.fs.filesystem import OrigamiFS
+    from repro.harness.experiments import build_workload
+    from repro.obs import Observability
+
+    built, trace = build_workload(kind, 1500, seed)
+    obs = Observability(trace=False, timeline=True, timeline_window_ms=12.0)
+    config = SimConfig(
+        n_mds=3,
+        n_clients=8,
+        epoch_ms=40.0,
+        params=CostParams(cache_depth=2),
+        seed=seed,
+        obs=obs,
+        fastpath=fastpath,
+    )
+    fs = OrigamiFS(built.tree, trace, LunulePolicy(), config)
+    engaged = fs.fastpath_engaged
+    rd = fs.run().to_dict()
+    for key in MATRIX.VOLATILE_RESULT_KEYS:
+        rd.pop(key, None)
+    return engaged, {"result": rd, "windows": obs.timeline.to_rows()}
+
+
+@pytest.mark.parametrize("kind,seed", [("rw", 0), ("wi", 1), ("ro", 0)])
+def test_fastpath_bit_identical_to_general_loop(kind, seed):
+    """SimConfig.fastpath=True vs False: every deterministic output bit,
+    including the windowed timeline, must match — and the flag must actually
+    flip which replay loop ran (guarding against silent disengagement)."""
+    on_engaged, on = _eligible_replay(kind, seed, fastpath=True)
+    off_engaged, off = _eligible_replay(kind, seed, fastpath=False)
+    assert on_engaged, "eligible config must engage the fast path"
+    assert not off_engaged, "fastpath=False must force the general loop"
+    _assert_equal(f"fastpath-parity/{kind}/seed{seed}", off, on)
+
+
+def test_fastpath_env_kill_switch(monkeypatch):
+    """REPRO_FASTPATH=0 force-disables the fast path when the config defers."""
+    from repro.sim import fastpath as fp
+
+    class _Cfg:
+        fastpath = None
+
+    class _FS:
+        config = _Cfg()
+
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    assert fp.engaged(_FS()) is False
+
+
+# --------------------------------------------------------------------------
+# 4. ordering invariants of the packed-key scheduler
 # --------------------------------------------------------------------------
 def _fire_order(entries):
     """Schedule ``entries`` = [(delay, priority), ...] and return fire order."""

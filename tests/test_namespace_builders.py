@@ -155,6 +155,29 @@ def test_access_stats_grow_with_tree():
     assert snap.reads.sum() == 100
 
 
+def test_access_stats_growths_logarithmic():
+    built = build_balanced(1, 1, 0)
+    tree = built.tree
+    stats = AccessStats(tree)
+    cap0 = stats._reads.shape[0]
+    assert stats.growths == 0
+    # walk the recorded ino upward one at a time: per-ino growth would
+    # reallocate ~n times, capacity doubling must stay O(log n)
+    n = 4096
+    for ino in range(n):
+        stats.record_read(ino)
+    assert stats._reads.shape[0] >= n
+    import math
+
+    assert stats.growths <= math.ceil(math.log2(n / cap0)) + 1
+    # buffered (fastpath) route flushes through the same doubling path
+    before = stats.growths
+    stats._buf_writes.extend(range(n, 4 * n))
+    stats._flush_buffers()
+    assert stats._writes[2 * n] == 1
+    assert stats.growths - before <= 3
+
+
 def test_access_stats_subtree_totals():
     built = build_balanced(2, 2, 0)
     tree = built.tree

@@ -62,9 +62,9 @@ def test_generator_tree_is_deterministic_by_seed(kind, seed):
     built_a, _ = _build(kind, seed)
     built_b, _ = _build(kind, seed)
     ta, tb = built_a.tree, built_b.tree
-    assert len(ta._parent) == len(tb._parent)
-    assert ta._parent == tb._parent
-    assert list(ta._alive) == list(tb._alive)
+    assert ta.capacity == tb.capacity
+    assert ta.parent_array().tolist() == tb.parent_array().tolist()
+    assert ta._alive[: ta.capacity].tolist() == tb._alive[: tb.capacity].tolist()
 
 
 @settings(max_examples=5, deadline=None)

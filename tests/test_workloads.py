@@ -64,6 +64,44 @@ def test_trace_concat_and_mix():
     assert both.op_mix() == {"STAT": 1, "CREATE": 1}
 
 
+def test_trace_concat_many_matches_chained_concat():
+    pieces = []
+    for k in range(5):
+        tb = TraceBuilder(label=f"p{k}")
+        for i in range(3):
+            tb.stat(10 * k + i, f"n{k}_{i}")
+        tb.create(10 * k + 9, f"c{k}")
+        pieces.append(tb.build())
+    many = Trace.concat_many(pieces)
+    chained = pieces[0]
+    for p in pieces[1:]:
+        chained = chained.concat(p)
+    assert len(many) == sum(len(p) for p in pieces)
+    np.testing.assert_array_equal(many.op, chained.op)
+    np.testing.assert_array_equal(many.dir_ino, chained.dir_ino)
+    np.testing.assert_array_equal(many.aux, chained.aux)
+    assert many.names == chained.names
+    assert many.label == chained.label
+
+
+def test_trace_concat_many_column_rules():
+    with pytest.raises(ValueError):
+        Trace.concat_many([])
+    a = TraceBuilder()
+    a.stat(1, "x")
+    a.think(1.5)
+    b = TraceBuilder()
+    b.create(2, "y")
+    ta, tb_ = a.build(), b.build()
+    # think on any piece zero-fills the pieces without one
+    both = Trace.concat_many([ta, tb_])
+    assert both.think_ms is not None
+    np.testing.assert_allclose(both.think_ms, [1.5, 0.0])
+    # names survive only when every piece carries them
+    tb_.names = None
+    assert Trace.concat_many([ta, tb_]).names is None
+
+
 def test_trace_column_validation():
     with pytest.raises(ValueError):
         Trace(np.zeros(2, np.int8), np.zeros(3, np.int64), np.zeros(2, np.int64))
